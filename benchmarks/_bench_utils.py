@@ -1,0 +1,63 @@
+"""Small helpers shared by the benchmark modules (kept outside conftest so
+that they can be imported explicitly without relying on pytest's conftest
+module injection)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.matrices import reduced_measurement_matrix
+from repro.mtd.design import max_spa_perturbation, spa_of_reactances
+
+
+def print_banner(title: str) -> None:
+    """Visual separator used by every benchmark's report."""
+    print("\n" + "=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def gamma_grid(upper: float, step: float = 0.05) -> np.ndarray:
+    """The γ_th sweep used by the Fig. 6 / Fig. 9 benchmarks."""
+    return np.arange(step, upper + 1e-9, step)
+
+
+def exact_angle_perturbations(network, base_reactances, gammas):
+    """Perturbations hitting each target subspace angle (nearly) exactly.
+
+    The Fig. 6 experiments study effectiveness as a function of the angle
+    alone, so the perturbation magnitude is what matters, not its cost.  The
+    helper walks along the segment from the base reactances towards the
+    maximum-angle perturbation and bisects to each requested angle, yielding
+    a clean, monotone x-axis.
+
+    Returns a list of ``(achieved_angle, reactance_vector)`` pairs; targets
+    beyond the achievable range are skipped.
+    """
+    base = np.asarray(base_reactances, dtype=float)
+    far = max_spa_perturbation(
+        network, attacker_reactances=base, require_feasible_dispatch=False, seed=0
+    ).perturbed_reactances
+    attacker_matrix = reduced_measurement_matrix(network, base)
+
+    def angle_at(t: float) -> float:
+        return spa_of_reactances(network, attacker_matrix, base + t * (far - base))
+
+    achievable = angle_at(1.0)
+    results = []
+    for gamma in gammas:
+        if gamma > achievable + 1e-9:
+            continue
+        t_low, t_high = 0.0, 1.0
+        for _ in range(40):
+            t_mid = 0.5 * (t_low + t_high)
+            if angle_at(t_mid) >= gamma:
+                t_high = t_mid
+            else:
+                t_low = t_mid
+        x = base + t_high * (far - base)
+        results.append((angle_at(t_high), x))
+    return results
+
+
+__all__ = ["print_banner", "gamma_grid", "exact_angle_perturbations"]

@@ -1,0 +1,65 @@
+"""Fig. 6(a) — MTD effectiveness η'(δ) versus the subspace angle γ (IEEE 14-bus).
+
+For a sweep of SPA thresholds the MTD perturbation is designed (paper
+eq. (4), two-stage solver), and the fraction of pre-perturbation stealthy
+attacks whose post-MTD detection probability exceeds δ ∈ {0.5, 0.8, 0.9,
+0.95} is estimated over a random attack ensemble with ‖a‖₁/‖z‖₁ ≈ 0.08 and
+a BDD false-positive rate of 5·10⁻⁴, exactly as in the paper's setup.
+
+Expected shape: every η'(δ) series increases monotonically with γ, from
+near zero at small angles to close to one at the largest achievable angle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import monotonicity_fraction
+from repro.analysis.reporting import format_table
+
+from _bench_utils import exact_angle_perturbations, gamma_grid, print_banner
+
+
+def sweep_effectiveness(network, evaluator, baseline, deltas):
+    """(gamma, {delta: eta}) rows across the achievable SPA range."""
+    perturbations = exact_angle_perturbations(
+        network, baseline.reactances, gamma_grid(0.50)
+    )
+    rows = []
+    for achieved, reactances in perturbations:
+        result = evaluator.evaluate(reactances)
+        rows.append((achieved, {d: result.eta(d) for d in deltas}))
+    return rows
+
+
+def bench_fig6a_effectiveness_14bus(benchmark, net14, baseline14, evaluator14, scale):
+    """Regenerate the Fig. 6(a) series and time the full sweep."""
+    rows = benchmark.pedantic(
+        sweep_effectiveness,
+        args=(net14, evaluator14, baseline14, scale.deltas),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_banner(
+        f"Fig. 6(a) — eta'(delta) vs gamma(Ht, H't'), IEEE 14-bus "
+        f"({scale.n_attacks} attacks, FP rate 5e-4)"
+    )
+    print(
+        format_table(
+            ["gamma (rad)"] + [f"eta'({d})" for d in scale.deltas],
+            [
+                [round(gamma, 3)] + [round(etas[d], 3) for d in scale.deltas]
+                for gamma, etas in rows
+            ],
+        )
+    )
+    print("Paper shape: every series is monotone increasing in gamma; at the "
+          "largest angle ~97% of attacks have detection probability > 0.95.")
+
+    for delta in scale.deltas:
+        series = np.array([etas[delta] for _, etas in rows])
+        assert monotonicity_fraction(series) >= 0.7
+        assert series[-1] >= series[0]
+    top = rows[-1][1]
+    assert top[0.5] > 0.8

@@ -1,0 +1,47 @@
+"""Table II — pre-perturbation power flows, dispatch and OPF cost (4-bus).
+
+Regenerates the motivating example's operating point by solving the DC
+optimal power flow of the 4-bus system.
+
+Paper values: flows 126.56 / 173.44 / -43.44 / -26.56 MW, dispatch 350 / 150
+MW, cost 1.15 x 10^4 $.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import case4gs, solve_dc_opf
+from repro.analysis.reporting import format_table
+
+from _bench_utils import print_banner
+
+#: Paper reference values used for the shape check.
+PAPER_FLOWS_MW = np.array([126.56, 173.44, -43.44, -26.56])
+PAPER_DISPATCH_MW = np.array([350.0, 150.0])
+PAPER_COST = 1.15e4
+
+
+def bench_table2_preperturbation(benchmark):
+    """Regenerate Table II and time the OPF solve."""
+    network = case4gs()
+    result = benchmark(lambda: solve_dc_opf(network))
+
+    print_banner("Table II — pre-perturbation flows, dispatch and OPF cost (4-bus)")
+    print(
+        format_table(
+            ["Line 1", "Line 2", "Line 3", "Line 4", "Gen 1", "Gen 2", "Cost ($)"],
+            [
+                list(np.round(result.flows_mw, 2))
+                + list(np.round(result.dispatch_mw, 1))
+                + [round(result.cost, 1)]
+            ],
+        )
+    )
+    print(f"Paper reference: flows {PAPER_FLOWS_MW.tolist()} MW, "
+          f"dispatch {PAPER_DISPATCH_MW.tolist()} MW, cost ${PAPER_COST:.0f}.")
+
+    np.testing.assert_allclose(result.flows_mw, PAPER_FLOWS_MW, atol=0.02)
+    np.testing.assert_allclose(result.dispatch_mw, PAPER_DISPATCH_MW, atol=1e-3)
+    assert result.cost == float(np.round(result.cost, 6))
+    assert abs(result.cost - PAPER_COST) < 1.0

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""The insurance argument: attack damage versus MTD premium (Section VII-D).
+
+The paper frames MTD as insurance: the operator pays a small, recurring
+premium (the MTD operational cost) to avoid a potentially much larger loss
+(the economic damage of an undetected false-data-injection attack).  This
+script quantifies both sides on the IEEE 14-bus system:
+
+* the damage distribution of undetected load-redistribution attacks of
+  increasing magnitude, and
+* the MTD premium required to detect (with high probability) the attacks
+  crafted from pre-perturbation knowledge.
+
+Run with ``python examples/attack_impact_vs_mtd_premium.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    EffectivenessEvaluator,
+    case14,
+    design_mtd_perturbation,
+    mtd_operational_cost,
+    solve_dc_opf,
+)
+from repro.analysis.reporting import format_table
+from repro.attacks.impact import estimate_attack_cost_impact
+from repro.utils.rng import as_generator
+
+
+def main() -> None:
+    network = case14()
+    dispatch = solve_dc_opf(network)
+    rng = as_generator(7)
+
+    # ------------------------------------------------------------------
+    # Damage of undetected attacks (load-redistribution model).
+    # ------------------------------------------------------------------
+    rows = []
+    for magnitude in (0.002, 0.005, 0.01, 0.02):
+        increases = []
+        infeasible = 0
+        for _ in range(40):
+            bias = magnitude * rng.standard_normal(network.n_buses - 1)
+            impact = estimate_attack_cost_impact(network, bias)
+            if impact.feasible:
+                increases.append(impact.relative_increase)
+            else:
+                infeasible += 1
+        increases = np.array(increases) if increases else np.zeros(1)
+        rows.append(
+            [
+                magnitude,
+                f"{100 * float(np.median(increases)):.2f}%",
+                f"{100 * float(np.max(increases)):.2f}%",
+                infeasible,
+            ]
+        )
+    print(
+        format_table(
+            ["state bias (rad, std)", "median cost damage", "worst cost damage",
+             "operationally infeasible cases"],
+            rows,
+            title="Economic impact of undetected FDI attacks (40 random attacks per row)",
+        )
+    )
+    print(
+        "\n(An 'operationally infeasible' outcome means the falsified loads drove\n"
+        "the dispatch outside the network's limits — an emergency rather than a\n"
+        "quiet loss, and far more damaging than any cost increase.)\n"
+    )
+
+    # ------------------------------------------------------------------
+    # The MTD premium that buys detection of pre-perturbation attacks.
+    # ------------------------------------------------------------------
+    evaluator = EffectivenessEvaluator(
+        network, operating_angles_rad=dispatch.angles_rad, n_attacks=400, seed=2
+    )
+    rows = []
+    for gamma in (0.10, 0.20, 0.25):
+        design = design_mtd_perturbation(network, gamma_threshold=gamma, method="two-stage", seed=0)
+        effectiveness = evaluator.evaluate(design.perturbed_reactances)
+        cost = mtd_operational_cost(
+            network, design.perturbed_reactances, baseline="reactance-opf"
+        )
+        rows.append(
+            [
+                gamma,
+                round(design.achieved_spa, 3),
+                round(effectiveness.eta(0.9), 2),
+                f"{cost.percent_increase:.2f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["gamma_th (rad)", "achieved gamma", "eta'(0.9)", "MTD premium"],
+            rows,
+            title="MTD premium for increasing protection levels",
+        )
+    )
+    print(
+        "\nTakeaway: the recurring MTD premium is a small fraction of the hourly\n"
+        "operating cost, while a single undetected attack can cause damage an\n"
+        "order of magnitude larger (or an outright emergency) — the cost-benefit\n"
+        "comparison the paper's Section VII-D draws."
+    )
+
+
+if __name__ == "__main__":
+    main()

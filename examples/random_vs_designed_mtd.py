@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Random-perturbation MTD (prior work) versus the paper's designed MTD.
+
+Reproduces the comparison of Section VII-B (Figs. 7 and 8): random reactance
+perturbations — the strategy of earlier MTD proposals — are evaluated
+against the same attack ensemble as perturbations designed with the
+subspace-angle criterion.  The script reports
+
+* the spread of ``η'(δ)`` across random perturbations (high variability,
+  Fig. 7),
+* the fraction of the random keyspace achieving ``η'(δ) ≥ 0.9`` (small,
+  Fig. 8), and
+* the designed MTD's effectiveness and cost at a comparable threshold.
+
+Run with ``python examples/random_vs_designed_mtd.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    EffectivenessEvaluator,
+    RandomMTDBaseline,
+    case14,
+    design_mtd_perturbation,
+    mtd_operational_cost,
+    solve_dc_opf,
+)
+from repro.analysis.reporting import format_series, format_table
+
+N_RANDOM_SAMPLES = 100
+DELTAS = [0.1, 0.3, 0.5, 0.7, 0.9]
+
+
+def main() -> None:
+    network = case14()
+    dispatch = solve_dc_opf(network)
+    evaluator = EffectivenessEvaluator(
+        network, operating_angles_rad=dispatch.angles_rad, n_attacks=400, seed=1
+    )
+
+    # ------------------------------------------------------------------
+    # Random keyspaces: small (2 %) perturbations as in the prior work, and
+    # larger (20 %) ones to show that even big random moves are unreliable.
+    # ------------------------------------------------------------------
+    for label, max_change in (("2%", 0.02), ("20%", 0.20)):
+        baseline = RandomMTDBaseline(network, evaluator, max_relative_change=max_change)
+        keyspace = baseline.sample_keyspace(N_RANDOM_SAMPLES, seed=3)
+        rows = []
+        for delta in DELTAS:
+            etas = keyspace.eta_values(delta)
+            rows.append(
+                [delta, round(float(etas.min()), 3), round(float(np.median(etas)), 3),
+                 round(float(etas.max()), 3),
+                 round(keyspace.fraction_meeting(delta, 0.9), 3)]
+            )
+        print(
+            format_table(
+                ["delta", "min eta'", "median eta'", "max eta'", "frac eta'>=0.9"],
+                rows,
+                title=f"Random MTD keyspace ({N_RANDOM_SAMPLES} samples, "
+                      f"perturbations within {label} of nominal)",
+            )
+        )
+        print()
+
+    # ------------------------------------------------------------------
+    # Designed MTD at a moderate subspace-angle threshold.
+    # ------------------------------------------------------------------
+    design = design_mtd_perturbation(network, gamma_threshold=0.25, method="two-stage", seed=0)
+    effectiveness = evaluator.evaluate(design.perturbed_reactances)
+    cost = mtd_operational_cost(network, design.perturbed_reactances, baseline="reactance-opf")
+    print(
+        format_series(
+            "Designed MTD (gamma_th = 0.25 rad)",
+            "delta",
+            "eta'(delta)",
+            DELTAS,
+            [round(effectiveness.eta(d), 3) for d in DELTAS],
+        )
+    )
+    print(f"\nDesigned MTD premium: {cost.percent_increase:.2f}% of the hourly OPF cost")
+    print(
+        "\nTakeaway: the random keyspace exhibits exactly the variability the\n"
+        "paper reports — most random perturbations are ineffective, and only a\n"
+        "small fraction clears eta'(0.9) >= 0.9 — while the designed perturbation\n"
+        "achieves a predictable effectiveness level at a quantified cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists only
+so that editable installs keep working in offline environments where the
+``wheel`` package (required by the PEP 517 editable-install path) is not
+available:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

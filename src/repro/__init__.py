@@ -1,0 +1,141 @@
+"""repro — reproduction of "Cost-Benefit Analysis of Moving-Target Defense
+in Power Grids" (Lakshminarayana & Yau, IEEE/IFIP DSN 2018).
+
+The package implements the full stack the paper builds on — a DC power-grid
+model with benchmark IEEE cases, DC power flow and optimal power flow, state
+estimation with bad-data detection, and stealthy false-data-injection
+attacks — plus the paper's contribution: formally grounded selection of
+moving-target-defense (MTD) reactance perturbations and the analysis of
+their cost-benefit trade-off.
+
+Quickstart
+----------
+>>> from repro import case14, solve_dc_opf, EffectivenessEvaluator, design_mtd_perturbation
+>>> network = case14()
+>>> baseline = solve_dc_opf(network)
+>>> evaluator = EffectivenessEvaluator(network, baseline.angles_rad, n_attacks=200)
+>>> design = design_mtd_perturbation(network, gamma_threshold=0.3, method="two-stage")
+>>> evaluator.evaluate(design.perturbed_reactances).eta(0.9)  # doctest: +SKIP
+0.97
+"""
+
+from repro.exceptions import (
+    AttackConstructionError,
+    CaseNotFoundError,
+    ConfigurationError,
+    EstimationError,
+    GridModelError,
+    MTDDesignError,
+    OPFConvergenceError,
+    OPFInfeasibleError,
+    PowerFlowError,
+    ReproError,
+)
+from repro.grid import (
+    Branch,
+    Bus,
+    Generator,
+    PowerNetwork,
+    available_cases,
+    load_case,
+    measurement_matrix,
+    reduced_measurement_matrix,
+)
+from repro.grid.cases import case4gs, case14, case30, synthetic_case
+from repro.powerflow import solve_dc_power_flow, ptdf_matrix
+from repro.opf import OPFResult, solve_dc_opf, solve_reactance_opf
+from repro.estimation import (
+    BadDataDetector,
+    MeasurementSystem,
+    WLSStateEstimator,
+)
+from repro.attacks import (
+    generate_attack_ensemble,
+    is_undetectable_under,
+    scale_attack_to_measurement_ratio,
+    stealthy_attack,
+    targeted_state_attack,
+)
+from repro.mtd import (
+    DailyMTDScheduler,
+    EffectivenessEvaluator,
+    EffectivenessResult,
+    MTDDesignResult,
+    RandomMTDBaseline,
+    ReactancePerturbation,
+    TradeoffCurve,
+    admits_no_undetectable_attacks,
+    attack_remains_stealthy,
+    compute_tradeoff_curve,
+    design_mtd_perturbation,
+    max_spa_perturbation,
+    mtd_operational_cost,
+    principal_angles,
+    smallest_principal_angle,
+    subspace_angle,
+)
+from repro.loads import nyiso_like_winter_day
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # exceptions
+    "ReproError",
+    "GridModelError",
+    "CaseNotFoundError",
+    "PowerFlowError",
+    "OPFInfeasibleError",
+    "OPFConvergenceError",
+    "EstimationError",
+    "AttackConstructionError",
+    "MTDDesignError",
+    "ConfigurationError",
+    # grid
+    "Bus",
+    "Branch",
+    "Generator",
+    "PowerNetwork",
+    "case4gs",
+    "case14",
+    "case30",
+    "synthetic_case",
+    "load_case",
+    "available_cases",
+    "measurement_matrix",
+    "reduced_measurement_matrix",
+    # power flow / OPF
+    "solve_dc_power_flow",
+    "ptdf_matrix",
+    "OPFResult",
+    "solve_dc_opf",
+    "solve_reactance_opf",
+    # estimation
+    "MeasurementSystem",
+    "WLSStateEstimator",
+    "BadDataDetector",
+    # attacks
+    "stealthy_attack",
+    "targeted_state_attack",
+    "is_undetectable_under",
+    "scale_attack_to_measurement_ratio",
+    "generate_attack_ensemble",
+    # MTD
+    "ReactancePerturbation",
+    "smallest_principal_angle",
+    "subspace_angle",
+    "principal_angles",
+    "attack_remains_stealthy",
+    "admits_no_undetectable_attacks",
+    "EffectivenessEvaluator",
+    "EffectivenessResult",
+    "mtd_operational_cost",
+    "design_mtd_perturbation",
+    "max_spa_perturbation",
+    "MTDDesignResult",
+    "RandomMTDBaseline",
+    "TradeoffCurve",
+    "compute_tradeoff_curve",
+    "DailyMTDScheduler",
+    "nyiso_like_winter_day",
+    "__version__",
+]

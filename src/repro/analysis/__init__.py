@@ -1,0 +1,19 @@
+"""Analysis helpers: Monte-Carlo drivers, metrics and plain-text reporting."""
+
+from repro.analysis.metrics import (
+    detection_statistics,
+    rank_correlation,
+    summarize_series,
+)
+from repro.analysis.reporting import format_table, format_series
+from repro.analysis.montecarlo import MonteCarloSummary, repeat_experiment
+
+__all__ = [
+    "detection_statistics",
+    "rank_correlation",
+    "summarize_series",
+    "format_table",
+    "format_series",
+    "MonteCarloSummary",
+    "repeat_experiment",
+]

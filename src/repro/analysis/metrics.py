@@ -1,0 +1,82 @@
+"""Statistical summaries used by the benchmark harness and examples."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+
+def detection_statistics(detection_probabilities: np.ndarray) -> dict[str, float]:
+    """Summary statistics of a per-attack detection-probability array."""
+    probs = np.asarray(detection_probabilities, dtype=float).ravel()
+    if probs.size == 0:
+        return {
+            "count": 0.0,
+            "mean": 0.0,
+            "median": 0.0,
+            "p10": 0.0,
+            "p90": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+        }
+    return {
+        "count": float(probs.size),
+        "mean": float(np.mean(probs)),
+        "median": float(np.median(probs)),
+        "p10": float(np.percentile(probs, 10)),
+        "p90": float(np.percentile(probs, 90)),
+        "min": float(np.min(probs)),
+        "max": float(np.max(probs)),
+    }
+
+
+def rank_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation between two series.
+
+    Used by the ablation benchmark that validates the paper's conjecture:
+    the SPA heuristic should rank perturbations in (nearly) the same order
+    as the true effectiveness metric.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("series must have equal length")
+    if x.shape[0] < 2:
+        return float("nan")
+    correlation, _ = stats.spearmanr(x, y)
+    return float(correlation)
+
+
+def summarize_series(values: np.ndarray) -> dict[str, float]:
+    """Mean / spread summary of an arbitrary numeric series."""
+    series = np.asarray(values, dtype=float).ravel()
+    if series.size == 0:
+        return {"count": 0.0, "mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "count": float(series.size),
+        "mean": float(np.mean(series)),
+        "std": float(np.std(series)),
+        "min": float(np.min(series)),
+        "max": float(np.max(series)),
+    }
+
+
+def monotonicity_fraction(values: np.ndarray) -> float:
+    """Fraction of consecutive steps that are non-decreasing.
+
+    A value of 1.0 means the series is monotone non-decreasing; used to
+    check the "effectiveness increases with the SPA" trend of Fig. 6.
+    """
+    series = np.asarray(values, dtype=float).ravel()
+    if series.size < 2:
+        return 1.0
+    steps = np.diff(series)
+    return float(np.mean(steps >= -1e-9))
+
+
+__all__ = [
+    "detection_statistics",
+    "rank_correlation",
+    "summarize_series",
+    "monotonicity_fraction",
+]

@@ -1,0 +1,78 @@
+"""Generic Monte-Carlo repetition helper.
+
+Several of the paper's results are averages over random draws (random
+attacks, random perturbations, random noise).  :func:`repeat_experiment`
+standardises how such repetitions are run and summarised, with independent
+per-trial random streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.rng import spawn_generators
+
+
+@dataclass(frozen=True)
+class MonteCarloSummary:
+    """Summary of a repeated scalar-valued experiment.
+
+    Attributes
+    ----------
+    values:
+        The per-trial outcomes.
+    mean, std:
+        Sample mean and standard deviation.
+    confidence_halfwidth:
+        Half-width of the normal-approximation 95 % confidence interval on
+        the mean.
+    """
+
+    values: np.ndarray
+    mean: float
+    std: float
+    confidence_halfwidth: float
+
+    @property
+    def n_trials(self) -> int:
+        return int(self.values.size)
+
+    def confidence_interval(self) -> tuple[float, float]:
+        """95 % confidence interval on the mean."""
+        return (self.mean - self.confidence_halfwidth, self.mean + self.confidence_halfwidth)
+
+
+def repeat_experiment(
+    experiment: Callable[[np.random.Generator], float],
+    n_trials: int,
+    seed: int | np.random.Generator | None = 0,
+) -> MonteCarloSummary:
+    """Run ``experiment`` ``n_trials`` times with independent random streams.
+
+    Parameters
+    ----------
+    experiment:
+        Callable taking a generator and returning a scalar outcome.
+    n_trials:
+        Number of repetitions (must be positive).
+    seed:
+        Base seed; trials receive statistically independent child streams.
+    """
+    if n_trials <= 0:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    generators = spawn_generators(seed, n_trials)
+    values = np.array([float(experiment(rng)) for rng in generators])
+    std = float(np.std(values, ddof=1)) if n_trials > 1 else 0.0
+    halfwidth = 1.96 * std / np.sqrt(n_trials) if n_trials > 1 else 0.0
+    return MonteCarloSummary(
+        values=values,
+        mean=float(np.mean(values)),
+        std=std,
+        confidence_halfwidth=float(halfwidth),
+    )
+
+
+__all__ = ["MonteCarloSummary", "repeat_experiment"]

@@ -1,0 +1,65 @@
+"""Plain-text tables for the benchmark harness.
+
+The benchmark scripts print the same rows/series the paper's tables and
+figures report; these helpers keep that formatting consistent and readable
+in a terminal (no plotting dependencies are used anywhere in the library).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    rendered_rows = [[_render(cell, float_format) for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        padded = [str(cell).ljust(widths[i]) for i, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row([str(h) for h in headers]))
+    lines.append(separator)
+    for row in rendered_rows:
+        lines.append(format_row(row))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    x_label: str,
+    y_label: str,
+    x_values: Sequence[float],
+    y_values: Sequence[float],
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render an (x, y) series as a two-column table, one row per point."""
+    rows = list(zip(x_values, y_values))
+    return format_table([x_label, y_label], rows, title=name, float_format=float_format)
+
+
+def _render(cell: object, float_format: str) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return float_format.format(cell)
+    return str(cell)
+
+
+__all__ = ["format_table", "format_series"]

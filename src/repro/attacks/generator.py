@@ -1,0 +1,127 @@
+"""Random ensembles of stealthy FDI attacks.
+
+The paper's effectiveness metric ``η'(δ)`` is estimated over an ensemble of
+attack vectors ``a = Hc`` with ``c`` drawn from a Gaussian distribution and
+the magnitude scaled to a fixed fraction of the legitimate measurements.
+This module builds such ensembles reproducibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import AttackConstructionError
+from repro.attacks.fdi import stealthy_attack
+from repro.attacks.scaling import (
+    DEFAULT_MEASUREMENT_RATIO,
+    scale_attack_to_measurement_ratio,
+)
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class AttackEnsemble:
+    """A collection of stealthy attacks crafted from one measurement matrix.
+
+    Attributes
+    ----------
+    attacks:
+        Array of shape ``(n_attacks, M)``; each row is one attack vector.
+    state_biases:
+        Array of shape ``(n_attacks, N−1)``; the corresponding ``c`` vectors.
+    measurement_matrix:
+        The attacker's measurement matrix ``H`` the attacks were built from.
+    reference_measurements:
+        The legitimate measurement vector the magnitudes were scaled against.
+    target_ratio:
+        The ``‖a‖₁/‖z‖₁`` ratio the attacks were scaled to.
+    """
+
+    attacks: np.ndarray
+    state_biases: np.ndarray
+    measurement_matrix: np.ndarray
+    reference_measurements: np.ndarray
+    target_ratio: float
+
+    def __len__(self) -> int:
+        return self.attacks.shape[0]
+
+    def __iter__(self):
+        return iter(self.attacks)
+
+    def subset(self, indices: np.ndarray | list[int]) -> "AttackEnsemble":
+        """Return a new ensemble restricted to ``indices``."""
+        idx = np.asarray(indices, dtype=int)
+        return AttackEnsemble(
+            attacks=self.attacks[idx],
+            state_biases=self.state_biases[idx],
+            measurement_matrix=self.measurement_matrix,
+            reference_measurements=self.reference_measurements,
+            target_ratio=self.target_ratio,
+        )
+
+
+def generate_attack_ensemble(
+    measurement_matrix: np.ndarray,
+    reference_measurements: np.ndarray,
+    n_attacks: int = 1000,
+    target_ratio: float = DEFAULT_MEASUREMENT_RATIO,
+    seed: int | np.random.Generator | None = 0,
+) -> AttackEnsemble:
+    """Draw ``n_attacks`` random stealthy attacks ``a = Hc``.
+
+    Parameters
+    ----------
+    measurement_matrix:
+        The attacker's (pre-perturbation) measurement matrix ``H``.
+    reference_measurements:
+        A legitimate measurement vector ``z`` used for magnitude scaling.
+    n_attacks:
+        Ensemble size (the paper uses 1000).
+    target_ratio:
+        Desired ``‖a‖₁/‖z‖₁`` (the paper uses ≈0.08).
+    seed:
+        Seed or generator for reproducibility.
+
+    Returns
+    -------
+    AttackEnsemble
+    """
+    if n_attacks <= 0:
+        raise AttackConstructionError(f"n_attacks must be positive, got {n_attacks}")
+    H = np.asarray(measurement_matrix, dtype=float)
+    z = np.asarray(reference_measurements, dtype=float).ravel()
+    if H.ndim != 2:
+        raise AttackConstructionError(f"expected a 2-D measurement matrix, got shape {H.shape}")
+    if z.shape[0] != H.shape[0]:
+        raise AttackConstructionError(
+            f"reference measurement length {z.shape[0]} does not match matrix rows {H.shape[0]}"
+        )
+    rng = as_generator(seed)
+    n_states = H.shape[1]
+
+    biases = np.empty((n_attacks, n_states))
+    attacks = np.empty((n_attacks, H.shape[0]))
+    for k in range(n_attacks):
+        c = rng.standard_normal(n_states)
+        # Guard against the (measure-zero) event of an all-zero draw.
+        while not np.any(np.abs(c) > 1e-12):  # pragma: no cover
+            c = rng.standard_normal(n_states)
+        raw = stealthy_attack(H, c)
+        scaled = scale_attack_to_measurement_ratio(raw, z, target_ratio)
+        # Record the bias consistent with the applied scaling.
+        scale = np.sum(np.abs(scaled)) / np.sum(np.abs(raw))
+        biases[k] = c * scale
+        attacks[k] = scaled
+    return AttackEnsemble(
+        attacks=attacks,
+        state_biases=biases,
+        measurement_matrix=H.copy(),
+        reference_measurements=z.copy(),
+        target_ratio=float(target_ratio),
+    )
+
+
+__all__ = ["AttackEnsemble", "generate_attack_ensemble"]

@@ -1,0 +1,28 @@
+"""State estimation and bad-data detection.
+
+Implements the DC-model supervisory stack of Section III of the paper:
+
+* :class:`~repro.estimation.measurement.MeasurementSystem` — the SCADA
+  measurement model ``z = Hθ + n`` (forward/reverse branch flows and nodal
+  injections, Gaussian noise).
+* :class:`~repro.estimation.state_estimator.WLSStateEstimator` — the
+  maximum-likelihood (weighted least squares) estimator
+  ``θ̂ = (HᵀWH)⁻¹HᵀWz``.
+* :class:`~repro.estimation.bdd.BadDataDetector` — the residual-based
+  detector with a threshold calibrated to a target false-positive rate, plus
+  analytic (noncentral-χ²) and Monte-Carlo detection-probability evaluators.
+"""
+
+from repro.estimation.measurement import MeasurementSystem
+from repro.estimation.state_estimator import StateEstimate, WLSStateEstimator
+from repro.estimation.bdd import BadDataDetector
+from repro.estimation.observability import is_observable, observability_report
+
+__all__ = [
+    "MeasurementSystem",
+    "WLSStateEstimator",
+    "StateEstimate",
+    "BadDataDetector",
+    "is_observable",
+    "observability_report",
+]

@@ -1,0 +1,116 @@
+"""Observability analysis of the measurement configuration.
+
+The full SCADA measurement set of the paper (all injections plus both flow
+directions) always makes a connected network observable, but users may study
+reduced measurement sets; these helpers report whether weighted least squares
+estimation is possible and which states are undetermined if not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.matrices import non_slack_indices, reduced_measurement_matrix
+from repro.grid.network import PowerNetwork
+from repro.utils.linalg import is_full_column_rank
+
+
+@dataclass(frozen=True)
+class ObservabilityReport:
+    """Result of :func:`observability_report`.
+
+    Attributes
+    ----------
+    observable:
+        True when the (possibly row-restricted) measurement matrix has full
+        column rank.
+    rank:
+        Numerical rank of the measurement matrix.
+    n_states:
+        Number of states to estimate (``N − 1``).
+    undetermined_states:
+        Indices (into the non-slack bus ordering) of state directions that
+        are not pinned down by the measurements.  Empty when observable.
+    """
+
+    observable: bool
+    rank: int
+    n_states: int
+    undetermined_states: tuple[int, ...]
+
+
+def is_observable(
+    network: PowerNetwork,
+    measurement_rows: np.ndarray | None = None,
+    reactances: np.ndarray | None = None,
+) -> bool:
+    """Check whether the network is observable from the selected measurements."""
+    H = _selected_matrix(network, measurement_rows, reactances)
+    return is_full_column_rank(H)
+
+
+def observability_report(
+    network: PowerNetwork,
+    measurement_rows: np.ndarray | None = None,
+    reactances: np.ndarray | None = None,
+    tol: float = 1e-9,
+) -> ObservabilityReport:
+    """Full observability diagnosis.
+
+    Parameters
+    ----------
+    network:
+        Network under study.
+    measurement_rows:
+        Optional boolean mask or index array selecting a subset of the
+        ``2L + N`` measurements (e.g. to model meters lost to failures or to
+        an attacker's jamming).  Defaults to all measurements.
+    reactances:
+        Optional reactance override.
+    tol:
+        Singular-value threshold for the rank decision.
+    """
+    H = _selected_matrix(network, measurement_rows, reactances)
+    n_states = H.shape[1]
+    # full_matrices=True so that vt spans all of R^n_states and its trailing
+    # rows form a basis of the null space even when there are fewer
+    # measurements than states.
+    _, s, vt = np.linalg.svd(H, full_matrices=True)
+    rank = int(np.sum(s > tol * (s[0] if s.size else 1.0)))
+    observable = rank == n_states
+    undetermined: tuple[int, ...] = ()
+    if not observable:
+        # Null-space directions indicate which state combinations are free;
+        # report the states with the largest participation in them.
+        null_vectors = vt[rank:]
+        participation = np.sum(null_vectors**2, axis=0)
+        undetermined = tuple(int(i) for i in np.where(participation > 1e-6)[0])
+    return ObservabilityReport(
+        observable=observable,
+        rank=rank,
+        n_states=n_states,
+        undetermined_states=undetermined,
+    )
+
+
+def _selected_matrix(
+    network: PowerNetwork,
+    measurement_rows: np.ndarray | None,
+    reactances: np.ndarray | None,
+) -> np.ndarray:
+    H = reduced_measurement_matrix(network, reactances)
+    if measurement_rows is None:
+        return H
+    rows = np.asarray(measurement_rows)
+    if rows.dtype == bool:
+        if rows.shape[0] != H.shape[0]:
+            raise ValueError(
+                f"boolean mask length {rows.shape[0]} does not match measurement count {H.shape[0]}"
+            )
+        return H[rows]
+    return H[rows.astype(int)]
+
+
+__all__ = ["is_observable", "observability_report", "ObservabilityReport"]

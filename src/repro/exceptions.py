@@ -1,0 +1,73 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch every failure mode of the package with a single ``except`` clause
+while still being able to distinguish individual categories.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class GridModelError(ReproError):
+    """Raised when a power-network description is structurally invalid.
+
+    Examples include duplicate bus identifiers, branches referencing unknown
+    buses, non-positive reactances, or generators attached to missing buses.
+    """
+
+
+class CaseNotFoundError(GridModelError):
+    """Raised when a named benchmark case is not present in the registry."""
+
+
+class PowerFlowError(ReproError):
+    """Raised when a power-flow computation cannot be completed.
+
+    Typical causes are a singular susceptance matrix (disconnected network)
+    or an inconsistent slack-bus specification.
+    """
+
+
+class OPFInfeasibleError(ReproError):
+    """Raised when an optimal power flow problem has no feasible point."""
+
+    def __init__(self, message: str, *, status: str | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class OPFConvergenceError(ReproError):
+    """Raised when the non-linear OPF solver fails to converge.
+
+    The best iterate found so far (if any) is attached for diagnostics so
+    that callers may decide to accept a slightly infeasible solution.
+    """
+
+    def __init__(self, message: str, *, best_result: object | None = None) -> None:
+        super().__init__(message)
+        self.best_result = best_result
+
+
+class EstimationError(ReproError):
+    """Raised when state estimation cannot be performed.
+
+    The usual cause is an unobservable measurement configuration, i.e. a
+    measurement matrix that is rank deficient.
+    """
+
+
+class AttackConstructionError(ReproError):
+    """Raised when a requested FDI attack vector cannot be constructed."""
+
+
+class MTDDesignError(ReproError):
+    """Raised when an MTD perturbation satisfying the requested criteria
+    cannot be found within the D-FACTS device limits."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when user-supplied configuration values are invalid."""

@@ -1,0 +1,42 @@
+"""Power-grid data model and benchmark cases.
+
+This subpackage replaces the MATPOWER case structures used by the paper with
+a small, explicit Python data model:
+
+* :class:`~repro.grid.components.Bus`, :class:`~repro.grid.components.Branch`
+  and :class:`~repro.grid.components.Generator` — plain dataclasses holding
+  the case data.
+* :class:`~repro.grid.network.PowerNetwork` — an immutable container with
+  convenience constructors (``with_reactances``, ``with_loads``, ...) used
+  heavily by the MTD machinery, which constantly derives perturbed copies of
+  a base network.
+* :mod:`repro.grid.matrices` — branch-bus incidence, susceptance and
+  measurement-matrix builders for the DC model.
+* :mod:`repro.grid.cases` — the IEEE 4-bus, 14-bus and 30-bus benchmark
+  systems used in the paper plus a synthetic-network generator.
+"""
+
+from repro.grid.components import Branch, Bus, Generator
+from repro.grid.network import PowerNetwork
+from repro.grid.matrices import (
+    branch_susceptance_matrix,
+    incidence_matrix,
+    measurement_matrix,
+    reduced_measurement_matrix,
+    susceptance_matrix,
+)
+from repro.grid.cases import load_case, available_cases
+
+__all__ = [
+    "Bus",
+    "Branch",
+    "Generator",
+    "PowerNetwork",
+    "incidence_matrix",
+    "branch_susceptance_matrix",
+    "susceptance_matrix",
+    "measurement_matrix",
+    "reduced_measurement_matrix",
+    "load_case",
+    "available_cases",
+]

@@ -1,0 +1,33 @@
+"""Benchmark power-system cases.
+
+Three cases from the paper are provided, plus a synthetic generator used by
+property-based tests and scalability studies:
+
+* :func:`~repro.grid.cases.case4.case4gs` — the 4-bus Grainger & Stevenson
+  system of the paper's motivating example (Section IV-B, Tables I-III).
+* :func:`~repro.grid.cases.case14.case14` — the IEEE 14-bus system with the
+  paper's generator, D-FACTS and flow-limit settings (Section VII-A).
+* :func:`~repro.grid.cases.case30.case30` — the IEEE 30-bus system
+  (Fig. 6(b)).
+* :func:`~repro.grid.cases.synthetic.synthetic_case` — random connected
+  networks of arbitrary size.
+
+Cases are accessed either by importing the functions directly or through the
+string registry (:func:`load_case` / :func:`available_cases`).
+"""
+
+from repro.grid.cases.case4 import case4gs
+from repro.grid.cases.case14 import case14
+from repro.grid.cases.case30 import case30
+from repro.grid.cases.synthetic import synthetic_case
+from repro.grid.cases.registry import available_cases, load_case, register_case
+
+__all__ = [
+    "case4gs",
+    "case14",
+    "case30",
+    "synthetic_case",
+    "load_case",
+    "available_cases",
+    "register_case",
+]

@@ -1,0 +1,159 @@
+"""The IEEE 14-bus system with the paper's evaluation settings.
+
+Topology and branch reactances follow the standard IEEE 14-bus test system
+(MATPOWER ``case14``).  The generator fleet, cost coefficients, D-FACTS
+placement and branch flow limits follow Section VII-A of the paper:
+
+* Generators at buses 1, 2, 3, 6 and 8 with maximum outputs
+  300, 50, 30, 50 and 20 MW and linear costs 20, 30, 40, 50 and 35 $/MWh
+  (Table IV).
+* D-FACTS devices on branches ``L_D = {1, 5, 9, 11, 17, 19}`` (1-indexed in
+  MATPOWER branch order), with ``η_max = 0.5``.
+* Branch flow limits of 160 MW on line 1 and 60 MW on every other line.
+* Bus loads default to the MATPOWER case14 values (259 MW total); the
+  dynamic-load experiments rescale them with an hourly profile.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.grid.components import Branch, Bus, Generator
+from repro.grid.network import PowerNetwork
+
+#: Bus active-power loads in MW (MATPOWER case14 defaults), bus 1 first.
+_LOADS_MW = (
+    0.0,   # bus 1
+    21.7,  # bus 2
+    94.2,  # bus 3
+    47.8,  # bus 4
+    7.6,   # bus 5
+    11.2,  # bus 6
+    0.0,   # bus 7
+    0.0,   # bus 8
+    29.5,  # bus 9
+    9.0,   # bus 10
+    3.5,   # bus 11
+    6.1,   # bus 12
+    13.5,  # bus 13
+    14.9,  # bus 14
+)
+
+#: Branches in MATPOWER case14 order: (from bus, to bus, reactance p.u.).
+_BRANCHES = (
+    (1, 2, 0.05917),
+    (1, 5, 0.22304),
+    (2, 3, 0.19797),
+    (2, 4, 0.17632),
+    (2, 5, 0.17388),
+    (3, 4, 0.17103),
+    (4, 5, 0.04211),
+    (4, 7, 0.20912),
+    (4, 9, 0.55618),
+    (5, 6, 0.25202),
+    (6, 11, 0.19890),
+    (6, 12, 0.25581),
+    (6, 13, 0.13027),
+    (7, 8, 0.17615),
+    (7, 9, 0.11001),
+    (9, 10, 0.08450),
+    (9, 14, 0.27038),
+    (10, 11, 0.19207),
+    (12, 13, 0.19988),
+    (13, 14, 0.34802),
+)
+
+#: Generators per Table IV: (bus, p_max_mw, cost $/MWh).
+_GENERATORS = (
+    (1, 300.0, 20.0),
+    (2, 50.0, 30.0),
+    (3, 30.0, 40.0),
+    (6, 50.0, 50.0),
+    (8, 20.0, 35.0),
+)
+
+#: D-FACTS-equipped branches (1-indexed, MATPOWER branch order) per the paper.
+DEFAULT_DFACTS_BRANCHES = (1, 5, 9, 11, 17, 19)
+
+#: Paper's branch flow limits: 160 MW on line 1, 60 MW elsewhere.
+_LINE1_LIMIT_MW = 160.0
+_OTHER_LIMIT_MW = 60.0
+
+
+def case14(
+    dfacts_branches: Sequence[int] | None = None,
+    dfacts_range: float = 0.5,
+    line1_limit_mw: float = _LINE1_LIMIT_MW,
+    other_limit_mw: float = _OTHER_LIMIT_MW,
+) -> PowerNetwork:
+    """Build the IEEE 14-bus network with the paper's settings.
+
+    Parameters
+    ----------
+    dfacts_branches:
+        1-indexed branch numbers (MATPOWER ordering) carrying D-FACTS
+        devices.  Defaults to the paper's set ``{1, 5, 9, 11, 17, 19}``.
+    dfacts_range:
+        ``η_max``; reactances may move within ``[(1−η)x, (1+η)x]``.
+    line1_limit_mw, other_limit_mw:
+        Branch flow limits (paper: 160 MW for line 1, 60 MW elsewhere).
+
+    Returns
+    -------
+    PowerNetwork
+        The validated 14-bus network (bus 1 is the slack).
+    """
+    if dfacts_branches is None:
+        dfacts_branches = DEFAULT_DFACTS_BRANCHES
+    dfacts_zero_based = _to_zero_based(dfacts_branches, len(_BRANCHES))
+
+    buses = tuple(
+        Bus(index=i, load_mw=_LOADS_MW[i], name=f"Bus {i + 1}", is_slack=(i == 0))
+        for i in range(len(_LOADS_MW))
+    )
+    branches = []
+    for idx, (f, t, x) in enumerate(_BRANCHES):
+        rate = line1_limit_mw if idx == 0 else other_limit_mw
+        branch = Branch(
+            index=idx,
+            from_bus=f - 1,
+            to_bus=t - 1,
+            reactance=x,
+            rate_mw=rate,
+            name=f"Line {idx + 1} ({f}-{t})",
+        )
+        if idx in dfacts_zero_based:
+            branch = branch.with_dfacts(1.0 - dfacts_range, 1.0 + dfacts_range)
+        branches.append(branch)
+    generators = tuple(
+        Generator(
+            index=g,
+            bus=bus - 1,
+            p_max_mw=p_max,
+            cost_per_mwh=cost,
+            name=f"Gen bus {bus}",
+        )
+        for g, (bus, p_max, cost) in enumerate(_GENERATORS)
+    )
+    return PowerNetwork.from_components(
+        buses=buses,
+        branches=tuple(branches),
+        generators=generators,
+        name="ieee14",
+    )
+
+
+def _to_zero_based(branch_numbers: Iterable[int], n_branches: int) -> set[int]:
+    """Convert 1-indexed MATPOWER branch numbers to 0-based indices."""
+    zero_based = set()
+    for number in branch_numbers:
+        index = int(number) - 1
+        if index < 0 or index >= n_branches:
+            raise ValueError(
+                f"branch number {number} is outside 1..{n_branches}"
+            )
+        zero_based.add(index)
+    return zero_based
+
+
+__all__ = ["case14", "DEFAULT_DFACTS_BRANCHES"]

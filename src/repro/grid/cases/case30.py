@@ -1,0 +1,186 @@
+"""The IEEE 30-bus system used for the scalability result (Fig. 6(b)).
+
+The topology (30 buses, 41 branches) and branch reactances follow the
+standard IEEE 30-bus test system.  The paper uses the MATPOWER ``case30``
+defaults; since we cannot redistribute the MATPOWER data files, the values
+below are a re-encoding of the published IEEE 30-bus parameters.  Small
+numerical deviations from the MATPOWER file (for example in the quadratic
+generator-cost coefficients, which we replace with linear costs) do not
+affect the qualitative result reproduced from the paper — that MTD
+effectiveness increases monotonically with the subspace angle — because that
+relationship is a property of the measurement-matrix geometry, not of the
+exact cost coefficients.
+
+Generator placement follows MATPOWER ``case30`` (buses 1, 2, 13, 22, 23 and
+27).  D-FACTS devices are installed on ten branches spread across the
+network; the paper does not state its 30-bus D-FACTS placement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.grid.components import Branch, Bus, Generator
+from repro.grid.network import PowerNetwork
+
+#: Bus loads in MW (standard IEEE 30-bus data; ~189 MW total).
+_LOADS_MW = {
+    2: 21.7,
+    3: 2.4,
+    4: 7.6,
+    7: 22.8,
+    8: 30.0,
+    10: 5.8,
+    12: 11.2,
+    14: 6.2,
+    15: 8.2,
+    16: 3.5,
+    17: 9.0,
+    18: 3.2,
+    19: 9.5,
+    20: 2.2,
+    21: 17.5,
+    23: 3.2,
+    24: 8.7,
+    26: 3.5,
+    29: 2.4,
+    30: 10.6,
+}
+
+#: Branches: (from bus, to bus, reactance p.u., rate MW), IEEE 30-bus order.
+_BRANCHES = (
+    (1, 2, 0.0575, 130.0),
+    (1, 3, 0.1852, 130.0),
+    (2, 4, 0.1737, 65.0),
+    (3, 4, 0.0379, 130.0),
+    (2, 5, 0.1983, 130.0),
+    (2, 6, 0.1763, 65.0),
+    (4, 6, 0.0414, 90.0),
+    (5, 7, 0.1160, 70.0),
+    (6, 7, 0.0820, 130.0),
+    (6, 8, 0.0420, 32.0),
+    (6, 9, 0.2080, 65.0),
+    (6, 10, 0.5560, 32.0),
+    (9, 11, 0.2080, 65.0),
+    (9, 10, 0.1100, 65.0),
+    (4, 12, 0.2560, 65.0),
+    (12, 13, 0.1400, 65.0),
+    (12, 14, 0.2559, 32.0),
+    (12, 15, 0.1304, 32.0),
+    (12, 16, 0.1987, 32.0),
+    (14, 15, 0.1997, 16.0),
+    (16, 17, 0.1923, 16.0),
+    (15, 18, 0.2185, 16.0),
+    (18, 19, 0.1292, 16.0),
+    (19, 20, 0.0680, 32.0),
+    (10, 20, 0.2090, 32.0),
+    (10, 17, 0.0845, 32.0),
+    (10, 21, 0.0749, 32.0),
+    (10, 22, 0.1499, 32.0),
+    (21, 22, 0.0236, 32.0),
+    (15, 23, 0.2020, 16.0),
+    (22, 24, 0.1790, 16.0),
+    (23, 24, 0.2700, 16.0),
+    (24, 25, 0.3292, 16.0),
+    (25, 26, 0.3800, 16.0),
+    (25, 27, 0.2087, 16.0),
+    (28, 27, 0.3960, 65.0),
+    (27, 29, 0.4153, 16.0),
+    (27, 30, 0.6027, 16.0),
+    (29, 30, 0.4533, 16.0),
+    (8, 28, 0.2000, 32.0),
+    (6, 28, 0.0599, 32.0),
+)
+
+#: Generators: (bus, p_max_mw, cost $/MWh).  Placement follows MATPOWER
+#: case30; the linear cost ordering makes bus-1 generation cheapest so the
+#: OPF exhibits congestion-driven redispatch as in the 14-bus case.
+_GENERATORS = (
+    (1, 80.0, 20.0),
+    (2, 80.0, 25.0),
+    (13, 40.0, 45.0),
+    (22, 50.0, 35.0),
+    (23, 30.0, 50.0),
+    (27, 55.0, 40.0),
+)
+
+#: Default D-FACTS placement: ten branches distributed across the network
+#: (1-indexed, branch order above).
+DEFAULT_DFACTS_BRANCHES = (1, 4, 7, 10, 14, 18, 25, 27, 36, 41)
+
+
+def case30(
+    dfacts_branches: Sequence[int] | None = None,
+    dfacts_range: float = 0.5,
+) -> PowerNetwork:
+    """Build the IEEE 30-bus network.
+
+    Parameters
+    ----------
+    dfacts_branches:
+        1-indexed branch numbers carrying D-FACTS devices; defaults to
+        :data:`DEFAULT_DFACTS_BRANCHES`.
+    dfacts_range:
+        ``η_max`` of the D-FACTS devices (default 0.5 as in the paper).
+
+    Returns
+    -------
+    PowerNetwork
+        The validated 30-bus network (bus 1 is the slack).
+    """
+    if dfacts_branches is None:
+        dfacts_branches = DEFAULT_DFACTS_BRANCHES
+    dfacts_zero_based = _to_zero_based(dfacts_branches, len(_BRANCHES))
+
+    buses = tuple(
+        Bus(
+            index=i,
+            load_mw=_LOADS_MW.get(i + 1, 0.0),
+            name=f"Bus {i + 1}",
+            is_slack=(i == 0),
+        )
+        for i in range(30)
+    )
+    branches = []
+    for idx, (f, t, x, rate) in enumerate(_BRANCHES):
+        branch = Branch(
+            index=idx,
+            from_bus=f - 1,
+            to_bus=t - 1,
+            reactance=x,
+            rate_mw=rate,
+            name=f"Line {idx + 1} ({f}-{t})",
+        )
+        if idx in dfacts_zero_based:
+            branch = branch.with_dfacts(1.0 - dfacts_range, 1.0 + dfacts_range)
+        branches.append(branch)
+    generators = tuple(
+        Generator(
+            index=g,
+            bus=bus - 1,
+            p_max_mw=p_max,
+            cost_per_mwh=cost,
+            name=f"Gen bus {bus}",
+        )
+        for g, (bus, p_max, cost) in enumerate(_GENERATORS)
+    )
+    return PowerNetwork.from_components(
+        buses=buses,
+        branches=tuple(branches),
+        generators=generators,
+        name="ieee30",
+    )
+
+
+def _to_zero_based(branch_numbers: Iterable[int], n_branches: int) -> set[int]:
+    """Convert 1-indexed branch numbers to 0-based indices."""
+    zero_based = set()
+    for number in branch_numbers:
+        index = int(number) - 1
+        if index < 0 or index >= n_branches:
+            raise ValueError(f"branch number {number} is outside 1..{n_branches}")
+        zero_based.add(index)
+    return zero_based
+
+
+__all__ = ["case30", "DEFAULT_DFACTS_BRANCHES"]

@@ -1,0 +1,103 @@
+"""The 4-bus system of the paper's motivating example (Fig. 3).
+
+The topology, loads and generation match the classic 4-bus Grainger &
+Stevenson system distributed with MATPOWER as ``case4gs`` (the paper cites
+MATPOWER [27] as the source of the example):
+
+* Buses 1-4 with loads 50, 170, 200 and 80 MW.
+* Four lines: 1-2, 1-3, 2-4 and 3-4.
+* Two generators, at bus 1 and bus 4.
+
+With the reactances below and the dispatch ``G1 = 350`` MW, ``G2 = 150`` MW,
+the DC branch flows are 126.56, 173.44, -43.44 and -26.56 MW and the OPF
+cost is $1.15 x 10^4 — exactly the pre-perturbation values of Table II.
+
+The branch flow limits are not stated in the paper.  We choose limits that
+are slightly above the pre-perturbation flows so that the single-line MTD
+perturbations of the motivating example (Table III) force a generator
+redispatch and therefore a strictly positive operational cost, reproducing
+the qualitative behaviour of Table III (every perturbation increases the OPF
+cost; perturbing line 3 is cheapest).
+"""
+
+from __future__ import annotations
+
+from repro.grid.components import Branch, Bus, Generator
+from repro.grid.network import PowerNetwork
+
+#: Loads at buses 1..4 in MW (Fig. 3 / MATPOWER case4gs).
+_LOADS_MW = (50.0, 170.0, 200.0, 80.0)
+
+#: Branch terminals (1-indexed as in the paper) and series reactances (p.u.).
+_BRANCHES = (
+    # (from, to, reactance, rate_mw)
+    (1, 2, 0.0504, 128.0),
+    (1, 3, 0.0372, 174.0),
+    (2, 4, 0.0372, 60.0),
+    (3, 4, 0.0636, 60.0),
+)
+
+#: Generators: (bus, p_max_mw, cost $/MWh).
+_GENERATORS = (
+    (1, 350.0, 20.0),
+    (4, 200.0, 30.0),
+)
+
+
+def case4gs(
+    dfacts_all_lines: bool = True,
+    dfacts_range: float = 0.5,
+) -> PowerNetwork:
+    """Build the 4-bus motivating-example network.
+
+    Parameters
+    ----------
+    dfacts_all_lines:
+        When true (default), every line carries a D-FACTS device so that the
+        single-line perturbations ``Δx^(1..4)`` of the motivating example can
+        all be realised.
+    dfacts_range:
+        Symmetric adjustment range ``η_max`` of the D-FACTS devices, i.e.
+        reactances may move within ``[(1 − η_max) x, (1 + η_max) x]``.
+
+    Returns
+    -------
+    PowerNetwork
+        The validated 4-bus network (bus 1 is the slack).
+    """
+    buses = tuple(
+        Bus(index=i, load_mw=_LOADS_MW[i], name=f"Bus {i + 1}", is_slack=(i == 0))
+        for i in range(4)
+    )
+    branches = []
+    for idx, (f, t, x, rate) in enumerate(_BRANCHES):
+        branch = Branch(
+            index=idx,
+            from_bus=f - 1,
+            to_bus=t - 1,
+            reactance=x,
+            rate_mw=rate,
+            name=f"Line {idx + 1}",
+        )
+        if dfacts_all_lines:
+            branch = branch.with_dfacts(1.0 - dfacts_range, 1.0 + dfacts_range)
+        branches.append(branch)
+    generators = tuple(
+        Generator(
+            index=g,
+            bus=bus - 1,
+            p_max_mw=p_max,
+            cost_per_mwh=cost,
+            name=f"G{g + 1}",
+        )
+        for g, (bus, p_max, cost) in enumerate(_GENERATORS)
+    )
+    return PowerNetwork.from_components(
+        buses=buses,
+        branches=tuple(branches),
+        generators=generators,
+        name="case4gs",
+    )
+
+
+__all__ = ["case4gs"]

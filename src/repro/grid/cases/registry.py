@@ -1,0 +1,71 @@
+"""String-keyed registry of benchmark cases.
+
+The registry lets benchmark drivers and examples select a case by name
+(``load_case("ieee14")``) and lets downstream users register their own case
+constructors without modifying the library.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import CaseNotFoundError
+from repro.grid.cases.case4 import case4gs
+from repro.grid.cases.case14 import case14
+from repro.grid.cases.case30 import case30
+from repro.grid.network import PowerNetwork
+
+CaseFactory = Callable[..., PowerNetwork]
+
+_REGISTRY: dict[str, CaseFactory] = {}
+
+
+def register_case(name: str, factory: CaseFactory, overwrite: bool = False) -> None:
+    """Register a case constructor under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Registry key (case insensitive).
+    factory:
+        Callable returning a :class:`PowerNetwork`.
+    overwrite:
+        Allow replacing an existing registration.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("case name must be a non-empty string")
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(f"case {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def load_case(name: str, **kwargs) -> PowerNetwork:
+    """Instantiate the case registered under ``name``.
+
+    Additional keyword arguments are forwarded to the case constructor
+    (e.g. ``load_case("ieee14", dfacts_range=0.3)``).
+    """
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise CaseNotFoundError(
+            f"unknown case {name!r}; available cases: {', '.join(available_cases())}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+def available_cases() -> tuple[str, ...]:
+    """Return the sorted names of all registered cases."""
+    return tuple(sorted(_REGISTRY))
+
+
+# Built-in registrations.  Aliases cover the names used in the paper's text
+# ("IEEE 14-bus system") and the MATPOWER file names.
+register_case("case4gs", case4gs)
+register_case("case4", case4gs)
+register_case("ieee14", case14)
+register_case("case14", case14)
+register_case("ieee30", case30)
+register_case("case30", case30)
+
+__all__ = ["register_case", "load_case", "available_cases", "CaseFactory"]

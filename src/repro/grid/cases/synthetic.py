@@ -1,0 +1,170 @@
+"""Synthetic random network generator.
+
+The generator produces connected meshed networks of arbitrary size with
+plausible parameter ranges.  It is used by property-based tests (invariants
+of power flow, state estimation and the MTD subspace analysis must hold on
+*any* valid network, not only the IEEE cases) and by scalability studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.grid.components import Branch, Bus, Generator
+from repro.grid.network import PowerNetwork
+from repro.utils.rng import as_generator
+
+
+def synthetic_case(
+    n_buses: int,
+    extra_edge_factor: float = 0.5,
+    n_generators: int | None = None,
+    dfacts_fraction: float = 0.3,
+    dfacts_range: float = 0.5,
+    load_range_mw: tuple[float, float] = (10.0, 60.0),
+    reactance_range: tuple[float, float] = (0.05, 0.5),
+    capacity_margin: float = 1.6,
+    seed: int | np.random.Generator | None = 0,
+) -> PowerNetwork:
+    """Generate a random connected network.
+
+    The network is built from a random spanning tree (guaranteeing
+    connectivity) plus ``extra_edge_factor * n_buses`` additional random
+    edges, which creates the loops that make power-flow redistribution — and
+    hence the MTD cost mechanism — non-trivial.
+
+    Parameters
+    ----------
+    n_buses:
+        Number of buses (at least 3).
+    extra_edge_factor:
+        Additional edges per bus beyond the spanning tree.
+    n_generators:
+        Number of generators; defaults to ``max(2, n_buses // 5)``.
+    dfacts_fraction:
+        Fraction of branches equipped with D-FACTS devices.
+    dfacts_range:
+        Symmetric reactance adjustment range of the D-FACTS devices.
+    load_range_mw:
+        Uniform range from which bus loads are drawn (the slack bus carries
+        no load).
+    reactance_range:
+        Uniform range from which branch reactances are drawn.
+    capacity_margin:
+        Total generation capacity as a multiple of total load.
+    seed:
+        Seed or generator for reproducibility.
+
+    Returns
+    -------
+    PowerNetwork
+        A validated random network named ``synthetic<N>``.
+    """
+    if n_buses < 3:
+        raise ConfigurationError(f"n_buses must be at least 3, got {n_buses}")
+    if not (0.0 <= dfacts_fraction <= 1.0):
+        raise ConfigurationError(
+            f"dfacts_fraction must be within [0, 1], got {dfacts_fraction}"
+        )
+    if load_range_mw[0] < 0 or load_range_mw[0] > load_range_mw[1]:
+        raise ConfigurationError(f"invalid load range {load_range_mw}")
+    if reactance_range[0] <= 0 or reactance_range[0] > reactance_range[1]:
+        raise ConfigurationError(f"invalid reactance range {reactance_range}")
+    if capacity_margin <= 1.0:
+        raise ConfigurationError(
+            f"capacity_margin must exceed 1.0, got {capacity_margin}"
+        )
+
+    rng = as_generator(seed)
+
+    edges = _random_connected_edges(n_buses, extra_edge_factor, rng)
+
+    loads = rng.uniform(load_range_mw[0], load_range_mw[1], size=n_buses)
+    loads[0] = 0.0  # keep the slack bus load-free, as in the IEEE cases
+    buses = tuple(
+        Bus(index=i, load_mw=float(loads[i]), name=f"Bus {i + 1}", is_slack=(i == 0))
+        for i in range(n_buses)
+    )
+
+    n_branches = len(edges)
+    reactances = rng.uniform(reactance_range[0], reactance_range[1], size=n_branches)
+    total_load = float(np.sum(loads))
+    # Generous limits: each line can carry a sizable share of the total load,
+    # scaled down with network size so congestion is still possible.
+    rate = max(40.0, 1.5 * total_load / max(4, n_branches // 2))
+    n_dfacts = int(round(dfacts_fraction * n_branches))
+    dfacts_set = set(rng.permutation(n_branches)[:n_dfacts].tolist())
+    branches = []
+    for idx, (f, t) in enumerate(edges):
+        branch = Branch(
+            index=idx,
+            from_bus=int(f),
+            to_bus=int(t),
+            reactance=float(reactances[idx]),
+            rate_mw=rate,
+            name=f"Line {idx + 1}",
+        )
+        if idx in dfacts_set:
+            branch = branch.with_dfacts(1.0 - dfacts_range, 1.0 + dfacts_range)
+        branches.append(branch)
+
+    if n_generators is None:
+        n_generators = max(2, n_buses // 5)
+    n_generators = min(n_generators, n_buses)
+    gen_buses = rng.permutation(n_buses)[:n_generators]
+    if 0 not in gen_buses:
+        gen_buses[0] = 0  # always generate at the slack bus
+    capacity_total = capacity_margin * total_load
+    shares = rng.uniform(0.5, 1.5, size=n_generators)
+    shares = shares / np.sum(shares)
+    costs = rng.uniform(15.0, 60.0, size=n_generators)
+    generators = tuple(
+        Generator(
+            index=g,
+            bus=int(gen_buses[g]),
+            p_max_mw=float(capacity_total * shares[g]),
+            cost_per_mwh=float(costs[g]),
+            name=f"Gen {g + 1}",
+        )
+        for g in range(n_generators)
+    )
+
+    return PowerNetwork.from_components(
+        buses=buses,
+        branches=tuple(branches),
+        generators=generators,
+        name=f"synthetic{n_buses}",
+    )
+
+
+def _random_connected_edges(
+    n_buses: int, extra_edge_factor: float, rng: np.random.Generator
+) -> list[tuple[int, int]]:
+    """Random spanning tree plus extra edges, without duplicates."""
+    order = rng.permutation(n_buses)
+    edges: list[tuple[int, int]] = []
+    seen: set[frozenset[int]] = set()
+    for position in range(1, n_buses):
+        new_bus = int(order[position])
+        attach_to = int(order[rng.integers(0, position)])
+        edges.append((attach_to, new_bus))
+        seen.add(frozenset((attach_to, new_bus)))
+
+    n_extra = int(round(extra_edge_factor * n_buses))
+    attempts = 0
+    while n_extra > 0 and attempts < 20 * n_buses:
+        attempts += 1
+        a, b = rng.integers(0, n_buses, size=2)
+        if a == b:
+            continue
+        key = frozenset((int(a), int(b)))
+        if key in seen:
+            continue
+        seen.add(key)
+        edges.append((int(a), int(b)))
+        n_extra -= 1
+    return edges
+
+
+__all__ = ["synthetic_case"]

@@ -1,0 +1,218 @@
+"""Primitive grid components: buses, branches and generators.
+
+The components are frozen dataclasses so that a :class:`PowerNetwork` built
+from them can be shared between the defender- and attacker-side models
+without accidental mutation; derived networks (e.g. after an MTD reactance
+perturbation) are produced through explicit copy-with-changes constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import GridModelError
+
+
+@dataclass(frozen=True)
+class Bus:
+    """A network bus (node).
+
+    Parameters
+    ----------
+    index:
+        Zero-based bus index.  Indices must form a contiguous range
+        ``0..N-1`` within a network.
+    load_mw:
+        Active-power demand at the bus, in MW.  Non-negative.
+    name:
+        Optional human readable label (e.g. ``"Bus 4"``).
+    is_slack:
+        Whether this bus is the angle-reference (slack) bus.  Exactly one bus
+        per network must be marked as slack.
+    """
+
+    index: int
+    load_mw: float = 0.0
+    name: str = ""
+    is_slack: bool = False
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise GridModelError(f"bus index must be non-negative, got {self.index}")
+        if self.load_mw < 0:
+            raise GridModelError(
+                f"bus {self.index}: load must be non-negative, got {self.load_mw}"
+            )
+
+    def with_load(self, load_mw: float) -> "Bus":
+        """Return a copy of this bus with a different load."""
+        return replace(self, load_mw=float(load_mw))
+
+
+@dataclass(frozen=True)
+class Branch:
+    """A transmission line (or transformer) connecting two buses.
+
+    Parameters
+    ----------
+    index:
+        Zero-based branch index, contiguous within a network.
+    from_bus, to_bus:
+        Indices of the terminal buses.  The orientation defines the sign of
+        the branch flow (positive from ``from_bus`` to ``to_bus``).
+    reactance:
+        Series reactance in per unit.  Must be strictly positive (the DC
+        model ignores resistance).
+    rate_mw:
+        Long-term flow limit ``F^max`` in MW.  ``float('inf')`` disables the
+        limit.
+    has_dfacts:
+        Whether a D-FACTS device is installed on this line, i.e. whether the
+        MTD may perturb its reactance.
+    dfacts_min_factor, dfacts_max_factor:
+        Allowed reactance range as multiples of the nominal reactance, e.g.
+        ``0.5`` / ``1.5`` for the paper's ``η_max = 0.5``.  Ignored when
+        ``has_dfacts`` is false.
+    name:
+        Optional label.
+    """
+
+    index: int
+    from_bus: int
+    to_bus: int
+    reactance: float
+    rate_mw: float = float("inf")
+    has_dfacts: bool = False
+    dfacts_min_factor: float = 1.0
+    dfacts_max_factor: float = 1.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise GridModelError(f"branch index must be non-negative, got {self.index}")
+        if self.from_bus < 0 or self.to_bus < 0:
+            raise GridModelError(
+                f"branch {self.index}: bus indices must be non-negative "
+                f"(got {self.from_bus} -> {self.to_bus})"
+            )
+        if self.from_bus == self.to_bus:
+            raise GridModelError(
+                f"branch {self.index}: from and to bus must differ (both {self.from_bus})"
+            )
+        if self.reactance <= 0:
+            raise GridModelError(
+                f"branch {self.index}: reactance must be positive, got {self.reactance}"
+            )
+        if self.rate_mw <= 0:
+            raise GridModelError(
+                f"branch {self.index}: rate must be positive, got {self.rate_mw}"
+            )
+        if self.has_dfacts:
+            if not (0 < self.dfacts_min_factor <= 1.0 <= self.dfacts_max_factor):
+                raise GridModelError(
+                    f"branch {self.index}: D-FACTS factors must satisfy "
+                    f"0 < min <= 1 <= max, got "
+                    f"[{self.dfacts_min_factor}, {self.dfacts_max_factor}]"
+                )
+
+    @property
+    def susceptance(self) -> float:
+        """Series susceptance magnitude ``1/x`` used by the DC model."""
+        return 1.0 / self.reactance
+
+    @property
+    def reactance_min(self) -> float:
+        """Lower reactance limit achievable by the D-FACTS device."""
+        if not self.has_dfacts:
+            return self.reactance
+        return self.reactance * self.dfacts_min_factor
+
+    @property
+    def reactance_max(self) -> float:
+        """Upper reactance limit achievable by the D-FACTS device."""
+        if not self.has_dfacts:
+            return self.reactance
+        return self.reactance * self.dfacts_max_factor
+
+    def with_reactance(self, reactance: float) -> "Branch":
+        """Return a copy with a different series reactance.
+
+        The new value is not checked against the D-FACTS limits here; limit
+        enforcement is the responsibility of the perturbation and OPF layers,
+        which may deliberately explore the boundary.
+        """
+        return replace(self, reactance=float(reactance))
+
+    def with_dfacts(
+        self,
+        min_factor: float,
+        max_factor: float,
+    ) -> "Branch":
+        """Return a copy with a D-FACTS device installed on this line."""
+        return replace(
+            self,
+            has_dfacts=True,
+            dfacts_min_factor=float(min_factor),
+            dfacts_max_factor=float(max_factor),
+        )
+
+    def endpoints(self) -> tuple[int, int]:
+        """Return ``(from_bus, to_bus)``."""
+        return (self.from_bus, self.to_bus)
+
+
+@dataclass(frozen=True)
+class Generator:
+    """A dispatchable generator with a linear cost curve.
+
+    Parameters
+    ----------
+    index:
+        Zero-based generator index, contiguous within a network.
+    bus:
+        Index of the bus the generator is connected to.
+    p_max_mw:
+        Maximum active-power output in MW.
+    p_min_mw:
+        Minimum active-power output in MW (defaults to zero).
+    cost_per_mwh:
+        Linear marginal cost ``c_i`` in $/MWh, as in the paper's
+        ``C_i(G_i) = c_i · G_i`` model.
+    name:
+        Optional label.
+    """
+
+    index: int
+    bus: int
+    p_max_mw: float
+    p_min_mw: float = 0.0
+    cost_per_mwh: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise GridModelError(f"generator index must be non-negative, got {self.index}")
+        if self.bus < 0:
+            raise GridModelError(
+                f"generator {self.index}: bus index must be non-negative, got {self.bus}"
+            )
+        if self.p_max_mw < 0:
+            raise GridModelError(
+                f"generator {self.index}: p_max must be non-negative, got {self.p_max_mw}"
+            )
+        if not (0 <= self.p_min_mw <= self.p_max_mw):
+            raise GridModelError(
+                f"generator {self.index}: need 0 <= p_min <= p_max, got "
+                f"p_min={self.p_min_mw}, p_max={self.p_max_mw}"
+            )
+        if self.cost_per_mwh < 0:
+            raise GridModelError(
+                f"generator {self.index}: cost must be non-negative, got {self.cost_per_mwh}"
+            )
+
+    def cost_of(self, output_mw: float) -> float:
+        """Generation cost, in $, of producing ``output_mw`` for one hour."""
+        return self.cost_per_mwh * float(output_mw)
+
+
+__all__ = ["Bus", "Branch", "Generator"]

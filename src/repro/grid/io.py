@@ -1,0 +1,146 @@
+"""Import / export of networks as MATPOWER-like dictionaries.
+
+The paper obtains its case data from MATPOWER.  To stay dependency free we
+ship the benchmark cases as Python modules (:mod:`repro.grid.cases`), but
+this module provides a lossless dictionary representation compatible with
+JSON so that users can persist modified cases or import their own data
+easily.
+
+The dictionary schema intentionally mirrors the MATPOWER ``mpc`` struct
+field names (``bus``, ``branch``, ``gen``, ``gencost``) to ease manual
+translation of existing cases, but uses explicit keys per record instead of
+positional columns.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.exceptions import GridModelError
+from repro.grid.components import Branch, Bus, Generator
+from repro.grid.network import PowerNetwork
+
+SCHEMA_VERSION = 1
+
+
+def network_to_dict(network: PowerNetwork) -> dict[str, Any]:
+    """Serialise ``network`` into a JSON-compatible dictionary."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": network.name,
+        "base_mva": network.base_mva,
+        "bus": [
+            {
+                "index": bus.index,
+                "load_mw": bus.load_mw,
+                "name": bus.name,
+                "is_slack": bus.is_slack,
+            }
+            for bus in network.buses
+        ],
+        "branch": [
+            {
+                "index": branch.index,
+                "from_bus": branch.from_bus,
+                "to_bus": branch.to_bus,
+                "reactance": branch.reactance,
+                "rate_mw": branch.rate_mw if branch.rate_mw != float("inf") else None,
+                "has_dfacts": branch.has_dfacts,
+                "dfacts_min_factor": branch.dfacts_min_factor,
+                "dfacts_max_factor": branch.dfacts_max_factor,
+                "name": branch.name,
+            }
+            for branch in network.branches
+        ],
+        "gen": [
+            {
+                "index": gen.index,
+                "bus": gen.bus,
+                "p_min_mw": gen.p_min_mw,
+                "p_max_mw": gen.p_max_mw,
+                "cost_per_mwh": gen.cost_per_mwh,
+                "name": gen.name,
+            }
+            for gen in network.generators
+        ],
+    }
+
+
+def network_from_dict(data: Mapping[str, Any]) -> PowerNetwork:
+    """Reconstruct a :class:`PowerNetwork` from :func:`network_to_dict` output."""
+    version = data.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise GridModelError(
+            f"unsupported schema version {version}; this library supports {SCHEMA_VERSION}"
+        )
+    try:
+        buses = tuple(
+            Bus(
+                index=int(item["index"]),
+                load_mw=float(item.get("load_mw", 0.0)),
+                name=str(item.get("name", "")),
+                is_slack=bool(item.get("is_slack", False)),
+            )
+            for item in data["bus"]
+        )
+        branches = tuple(
+            Branch(
+                index=int(item["index"]),
+                from_bus=int(item["from_bus"]),
+                to_bus=int(item["to_bus"]),
+                reactance=float(item["reactance"]),
+                rate_mw=float("inf") if item.get("rate_mw") is None else float(item["rate_mw"]),
+                has_dfacts=bool(item.get("has_dfacts", False)),
+                dfacts_min_factor=float(item.get("dfacts_min_factor", 1.0)),
+                dfacts_max_factor=float(item.get("dfacts_max_factor", 1.0)),
+                name=str(item.get("name", "")),
+            )
+            for item in data["branch"]
+        )
+        generators = tuple(
+            Generator(
+                index=int(item["index"]),
+                bus=int(item["bus"]),
+                p_min_mw=float(item.get("p_min_mw", 0.0)),
+                p_max_mw=float(item["p_max_mw"]),
+                cost_per_mwh=float(item.get("cost_per_mwh", 0.0)),
+                name=str(item.get("name", "")),
+            )
+            for item in data["gen"]
+        )
+    except KeyError as exc:
+        raise GridModelError(f"missing required field in case dictionary: {exc}") from exc
+    return PowerNetwork(
+        buses=buses,
+        branches=branches,
+        generators=generators,
+        base_mva=float(data.get("base_mva", 100.0)),
+        name=str(data.get("name", "")),
+    )
+
+
+def save_network(network: PowerNetwork, path: str | Path) -> None:
+    """Write ``network`` to ``path`` as a JSON document."""
+    path = Path(path)
+    path.write_text(json.dumps(network_to_dict(network), indent=2, sort_keys=True))
+
+
+def load_network(path: str | Path) -> PowerNetwork:
+    """Read a network previously written by :func:`save_network`."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise GridModelError(f"{path} is not valid JSON: {exc}") from exc
+    return network_from_dict(data)
+
+
+__all__ = [
+    "network_to_dict",
+    "network_from_dict",
+    "save_network",
+    "load_network",
+    "SCHEMA_VERSION",
+]

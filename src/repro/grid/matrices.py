@@ -1,0 +1,146 @@
+"""Matrix builders for the DC power-flow model.
+
+Notation follows Section III of the paper:
+
+* ``A`` — the ``N x L`` branch-bus incidence matrix (``+1`` at the from bus,
+  ``-1`` at the to bus of each branch).
+* ``D`` — the ``L x L`` diagonal matrix of reciprocal branch reactances.
+* ``B = A D Aᵀ`` — the ``N x N`` nodal susceptance matrix.
+* ``H = [D Aᵀ; -D Aᵀ; A D Aᵀ]`` — the ``(2L + N) x N`` measurement matrix
+  relating the state (bus voltage phase angles) to the SCADA measurements
+  (forward branch flows, reverse branch flows, nodal injections).
+
+Because the slack-bus angle is fixed to zero, state estimation and the MTD
+subspace analysis operate on the *reduced* matrices with the slack column
+removed, which are full column rank for a connected network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.network import PowerNetwork
+
+
+def incidence_matrix(network: PowerNetwork) -> np.ndarray:
+    """Return the ``N x L`` branch-bus incidence matrix ``A``."""
+    A = np.zeros((network.n_buses, network.n_branches))
+    for branch in network.branches:
+        A[branch.from_bus, branch.index] = 1.0
+        A[branch.to_bus, branch.index] = -1.0
+    return A
+
+
+def branch_susceptance_matrix(
+    network: PowerNetwork, reactances: np.ndarray | None = None
+) -> np.ndarray:
+    """Return the diagonal matrix ``D`` of reciprocal branch reactances.
+
+    Parameters
+    ----------
+    network:
+        The network providing branch ordering and default reactances.
+    reactances:
+        Optional override vector (one entry per branch).  Used by the MTD
+        layer to evaluate candidate perturbations without materialising a new
+        :class:`PowerNetwork`.
+    """
+    x = network.reactances() if reactances is None else np.asarray(reactances, dtype=float)
+    if x.shape[0] != network.n_branches:
+        raise ValueError(
+            f"expected {network.n_branches} reactances, got {x.shape[0]}"
+        )
+    if np.any(x <= 0):
+        raise ValueError("all reactances must be strictly positive")
+    return np.diag(1.0 / x)
+
+
+def susceptance_matrix(
+    network: PowerNetwork, reactances: np.ndarray | None = None
+) -> np.ndarray:
+    """Return the nodal susceptance matrix ``B = A D Aᵀ`` (``N x N``)."""
+    A = incidence_matrix(network)
+    D = branch_susceptance_matrix(network, reactances)
+    return A @ D @ A.T
+
+
+def reduced_susceptance_matrix(
+    network: PowerNetwork, reactances: np.ndarray | None = None
+) -> np.ndarray:
+    """Return ``B`` with the slack row and column removed (invertible)."""
+    B = susceptance_matrix(network, reactances)
+    keep = non_slack_indices(network)
+    return B[np.ix_(keep, keep)]
+
+
+def non_slack_indices(network: PowerNetwork) -> np.ndarray:
+    """Indices of all buses except the slack bus, in ascending order."""
+    slack = network.slack_bus
+    return np.array([i for i in range(network.n_buses) if i != slack], dtype=int)
+
+
+def measurement_matrix(
+    network: PowerNetwork, reactances: np.ndarray | None = None
+) -> np.ndarray:
+    """Return the full ``(2L + N) x N`` measurement matrix ``H``.
+
+    Row ordering matches the paper's ``z = [p̃, f̃, -f̃]`` convention permuted
+    to ``[f̃, -f̃, p̃]``; the exact ordering is irrelevant to the analysis
+    (it is a fixed permutation) but is kept consistent across the library:
+    rows ``0..L-1`` are forward flows, ``L..2L-1`` reverse flows and
+    ``2L..2L+N-1`` nodal injections.
+    """
+    A = incidence_matrix(network)
+    D = branch_susceptance_matrix(network, reactances)
+    flows = D @ A.T
+    injections = A @ D @ A.T
+    return np.vstack([flows, -flows, injections])
+
+
+def reduced_measurement_matrix(
+    network: PowerNetwork, reactances: np.ndarray | None = None
+) -> np.ndarray:
+    """Return ``H`` with the slack-bus column removed.
+
+    The reduced matrix has shape ``(2L + N) x (N - 1)`` and full column rank
+    for any connected network, which is required both by the WLS state
+    estimator and by the subspace analysis of the MTD (Proposition 1 /
+    Theorem 1 reason about ``Col(H)`` of this full-column-rank matrix).
+    """
+    H = measurement_matrix(network, reactances)
+    keep = non_slack_indices(network)
+    return H[:, keep]
+
+
+def generator_incidence_matrix(network: PowerNetwork) -> np.ndarray:
+    """Return the ``N x G`` generator-to-bus mapping matrix.
+
+    Entry ``(i, g)`` is one when generator ``g`` is connected to bus ``i``,
+    so that the nodal injection vector is ``C g − l``.
+    """
+    C = np.zeros((network.n_buses, network.n_generators))
+    for gen in network.generators:
+        C[gen.bus, gen.index] = 1.0
+    return C
+
+
+def branch_flow_matrix(
+    network: PowerNetwork, reactances: np.ndarray | None = None
+) -> np.ndarray:
+    """Return the ``L x N`` matrix mapping bus angles to branch flows ``D Aᵀ``."""
+    A = incidence_matrix(network)
+    D = branch_susceptance_matrix(network, reactances)
+    return D @ A.T
+
+
+__all__ = [
+    "incidence_matrix",
+    "branch_susceptance_matrix",
+    "susceptance_matrix",
+    "reduced_susceptance_matrix",
+    "non_slack_indices",
+    "measurement_matrix",
+    "reduced_measurement_matrix",
+    "generator_incidence_matrix",
+    "branch_flow_matrix",
+]

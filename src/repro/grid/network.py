@@ -1,0 +1,368 @@
+"""The :class:`PowerNetwork` container.
+
+A :class:`PowerNetwork` bundles buses, branches and generators, validates
+their structural consistency once at construction time, and offers
+copy-with-changes constructors that the MTD machinery uses to derive
+perturbed variants of a base case (different reactances, different loads)
+without mutating shared state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import GridModelError
+from repro.grid.components import Branch, Bus, Generator
+from repro.utils.units import DEFAULT_BASE_MVA
+
+
+@dataclass(frozen=True)
+class PowerNetwork:
+    """An immutable description of a transmission network.
+
+    Parameters
+    ----------
+    buses, branches, generators:
+        Component tuples.  Bus, branch and generator indices must each form
+        the contiguous range ``0..len-1``; exactly one bus is the slack.
+    base_mva:
+        System MVA base used for per-unit conversion.
+    name:
+        Optional case name (e.g. ``"ieee14"``).
+    """
+
+    buses: tuple[Bus, ...]
+    branches: tuple[Branch, ...]
+    generators: tuple[Generator, ...]
+    base_mva: float = DEFAULT_BASE_MVA
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_components(
+        cls,
+        buses: Iterable[Bus],
+        branches: Iterable[Branch],
+        generators: Iterable[Generator],
+        base_mva: float = DEFAULT_BASE_MVA,
+        name: str = "",
+    ) -> "PowerNetwork":
+        """Build a network from iterables of components."""
+        return cls(
+            buses=tuple(buses),
+            branches=tuple(branches),
+            generators=tuple(generators),
+            base_mva=float(base_mva),
+            name=name,
+        )
+
+    def _validate(self) -> None:
+        if not self.buses:
+            raise GridModelError("a network must contain at least one bus")
+        if not self.branches:
+            raise GridModelError("a network must contain at least one branch")
+        if self.base_mva <= 0:
+            raise GridModelError(f"base_mva must be positive, got {self.base_mva}")
+
+        bus_indices = [bus.index for bus in self.buses]
+        if sorted(bus_indices) != list(range(len(self.buses))):
+            raise GridModelError(
+                "bus indices must form the contiguous range 0..N-1, got "
+                f"{sorted(bus_indices)}"
+            )
+        slack_buses = [bus.index for bus in self.buses if bus.is_slack]
+        if len(slack_buses) != 1:
+            raise GridModelError(
+                f"exactly one slack bus is required, found {len(slack_buses)}"
+            )
+
+        branch_indices = [branch.index for branch in self.branches]
+        if sorted(branch_indices) != list(range(len(self.branches))):
+            raise GridModelError(
+                "branch indices must form the contiguous range 0..L-1, got "
+                f"{sorted(branch_indices)}"
+            )
+        valid_buses = set(bus_indices)
+        for branch in self.branches:
+            if branch.from_bus not in valid_buses or branch.to_bus not in valid_buses:
+                raise GridModelError(
+                    f"branch {branch.index} references unknown bus "
+                    f"({branch.from_bus} -> {branch.to_bus})"
+                )
+
+        gen_indices = [gen.index for gen in self.generators]
+        if sorted(gen_indices) != list(range(len(self.generators))):
+            raise GridModelError(
+                "generator indices must form the contiguous range 0..G-1, got "
+                f"{sorted(gen_indices)}"
+            )
+        for gen in self.generators:
+            if gen.bus not in valid_buses:
+                raise GridModelError(
+                    f"generator {gen.index} references unknown bus {gen.bus}"
+                )
+
+        if not self._is_connected():
+            raise GridModelError("the network graph must be connected")
+
+    def _is_connected(self) -> bool:
+        """Breadth-first connectivity check over the branch graph."""
+        adjacency: dict[int, list[int]] = {bus.index: [] for bus in self.buses}
+        for branch in self.branches:
+            adjacency[branch.from_bus].append(branch.to_bus)
+            adjacency[branch.to_bus].append(branch.from_bus)
+        visited = {self.buses[0].index}
+        frontier = [self.buses[0].index]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in adjacency[node]:
+                if neighbour not in visited:
+                    visited.add(neighbour)
+                    frontier.append(neighbour)
+        return len(visited) == len(self.buses)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_buses(self) -> int:
+        """Number of buses ``N``."""
+        return len(self.buses)
+
+    @property
+    def n_branches(self) -> int:
+        """Number of branches ``L``."""
+        return len(self.branches)
+
+    @property
+    def n_generators(self) -> int:
+        """Number of generators."""
+        return len(self.generators)
+
+    @property
+    def n_measurements(self) -> int:
+        """Number of SCADA measurements ``M = 2L + N`` in the paper's model."""
+        return 2 * self.n_branches + self.n_buses
+
+    @property
+    def slack_bus(self) -> int:
+        """Index of the slack (angle reference) bus."""
+        for bus in self.buses:
+            if bus.is_slack:
+                return bus.index
+        raise GridModelError("no slack bus defined")  # pragma: no cover - validated
+
+    @property
+    def dfacts_branches(self) -> tuple[int, ...]:
+        """Indices of branches equipped with D-FACTS devices (the set L_D)."""
+        return tuple(branch.index for branch in self.branches if branch.has_dfacts)
+
+    # ------------------------------------------------------------------
+    # Vector views
+    # ------------------------------------------------------------------
+    def loads_mw(self) -> np.ndarray:
+        """Bus load vector in MW, ordered by bus index."""
+        loads = np.zeros(self.n_buses)
+        for bus in self.buses:
+            loads[bus.index] = bus.load_mw
+        return loads
+
+    def reactances(self) -> np.ndarray:
+        """Branch reactance vector (per unit), ordered by branch index."""
+        x = np.zeros(self.n_branches)
+        for branch in self.branches:
+            x[branch.index] = branch.reactance
+        return x
+
+    def reactance_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(x_min, x_max)`` vectors honouring the D-FACTS limits.
+
+        Branches without D-FACTS have ``x_min == x_max == x`` as in the
+        paper's convention.
+        """
+        x_min = np.zeros(self.n_branches)
+        x_max = np.zeros(self.n_branches)
+        for branch in self.branches:
+            x_min[branch.index] = branch.reactance_min
+            x_max[branch.index] = branch.reactance_max
+        return x_min, x_max
+
+    def flow_limits_mw(self) -> np.ndarray:
+        """Branch flow limit vector ``F^max`` in MW."""
+        limits = np.zeros(self.n_branches)
+        for branch in self.branches:
+            limits[branch.index] = branch.rate_mw
+        return limits
+
+    def generator_buses(self) -> np.ndarray:
+        """Bus index of each generator, ordered by generator index."""
+        return np.array([gen.bus for gen in self.generators], dtype=int)
+
+    def generator_limits_mw(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(p_min, p_max)`` generator limit vectors in MW."""
+        p_min = np.array([gen.p_min_mw for gen in self.generators], dtype=float)
+        p_max = np.array([gen.p_max_mw for gen in self.generators], dtype=float)
+        return p_min, p_max
+
+    def generator_costs(self) -> np.ndarray:
+        """Linear marginal cost vector in $/MWh, ordered by generator index."""
+        return np.array([gen.cost_per_mwh for gen in self.generators], dtype=float)
+
+    def total_load_mw(self) -> float:
+        """Total system demand in MW."""
+        return float(np.sum(self.loads_mw()))
+
+    def total_generation_capacity_mw(self) -> float:
+        """Sum of generator maximum outputs in MW."""
+        return float(np.sum([gen.p_max_mw for gen in self.generators]))
+
+    def branch_between(self, bus_a: int, bus_b: int) -> Branch:
+        """Return the first branch connecting ``bus_a`` and ``bus_b``.
+
+        Raises :class:`GridModelError` if no such branch exists.
+        """
+        for branch in self.branches:
+            if {branch.from_bus, branch.to_bus} == {bus_a, bus_b}:
+                return branch
+        raise GridModelError(f"no branch between buses {bus_a} and {bus_b}")
+
+    # ------------------------------------------------------------------
+    # Copy-with-changes constructors
+    # ------------------------------------------------------------------
+    def with_reactances(self, reactances: Sequence[float] | np.ndarray) -> "PowerNetwork":
+        """Return a copy of the network with branch reactances replaced.
+
+        ``reactances`` must contain one value per branch, ordered by branch
+        index.  This is the primitive on which MTD perturbations are built.
+        """
+        x = np.asarray(reactances, dtype=float).ravel()
+        if x.shape[0] != self.n_branches:
+            raise GridModelError(
+                f"expected {self.n_branches} reactances, got {x.shape[0]}"
+            )
+        if np.any(x <= 0):
+            raise GridModelError("all reactances must be strictly positive")
+        new_branches = tuple(
+            branch.with_reactance(x[branch.index]) for branch in self.branches
+        )
+        return PowerNetwork(
+            buses=self.buses,
+            branches=new_branches,
+            generators=self.generators,
+            base_mva=self.base_mva,
+            name=self.name,
+        )
+
+    def with_loads(self, loads_mw: Sequence[float] | np.ndarray | Mapping[int, float]) -> "PowerNetwork":
+        """Return a copy of the network with bus loads replaced.
+
+        ``loads_mw`` is either a full per-bus vector (ordered by bus index)
+        or a mapping ``{bus_index: load_mw}`` of buses to change.
+        """
+        current = self.loads_mw()
+        if isinstance(loads_mw, Mapping):
+            new_loads = current.copy()
+            for bus_index, value in loads_mw.items():
+                if bus_index < 0 or bus_index >= self.n_buses:
+                    raise GridModelError(f"unknown bus index {bus_index}")
+                new_loads[bus_index] = float(value)
+        else:
+            new_loads = np.asarray(loads_mw, dtype=float).ravel()
+            if new_loads.shape[0] != self.n_buses:
+                raise GridModelError(
+                    f"expected {self.n_buses} loads, got {new_loads.shape[0]}"
+                )
+        if np.any(new_loads < 0):
+            raise GridModelError("loads must be non-negative")
+        new_buses = tuple(bus.with_load(new_loads[bus.index]) for bus in self.buses)
+        return PowerNetwork(
+            buses=new_buses,
+            branches=self.branches,
+            generators=self.generators,
+            base_mva=self.base_mva,
+            name=self.name,
+        )
+
+    def with_scaled_loads(self, factor: float) -> "PowerNetwork":
+        """Return a copy with every bus load multiplied by ``factor``."""
+        if factor < 0:
+            raise GridModelError(f"scaling factor must be non-negative, got {factor}")
+        return self.with_loads(self.loads_mw() * float(factor))
+
+    def with_dfacts_on(
+        self,
+        branch_indices: Iterable[int],
+        min_factor: float,
+        max_factor: float,
+    ) -> "PowerNetwork":
+        """Return a copy with D-FACTS devices installed on selected branches.
+
+        Existing D-FACTS installations on other branches are preserved.
+        """
+        targets = set(int(i) for i in branch_indices)
+        unknown = targets - set(range(self.n_branches))
+        if unknown:
+            raise GridModelError(f"unknown branch indices: {sorted(unknown)}")
+        new_branches = tuple(
+            branch.with_dfacts(min_factor, max_factor)
+            if branch.index in targets
+            else branch
+            for branch in self.branches
+        )
+        return PowerNetwork(
+            buses=self.buses,
+            branches=new_branches,
+            generators=self.generators,
+            base_mva=self.base_mva,
+            name=self.name,
+        )
+
+    def with_flow_limits(self, limits_mw: Sequence[float] | np.ndarray | Mapping[int, float]) -> "PowerNetwork":
+        """Return a copy of the network with branch flow limits replaced."""
+        current = self.flow_limits_mw()
+        if isinstance(limits_mw, Mapping):
+            new_limits = current.copy()
+            for branch_index, value in limits_mw.items():
+                if branch_index < 0 or branch_index >= self.n_branches:
+                    raise GridModelError(f"unknown branch index {branch_index}")
+                new_limits[branch_index] = float(value)
+        else:
+            new_limits = np.asarray(limits_mw, dtype=float).ravel()
+            if new_limits.shape[0] != self.n_branches:
+                raise GridModelError(
+                    f"expected {self.n_branches} limits, got {new_limits.shape[0]}"
+                )
+        if np.any(new_limits <= 0):
+            raise GridModelError("flow limits must be strictly positive")
+        new_branches = []
+        for branch in self.branches:
+            from dataclasses import replace as dc_replace
+
+            new_branches.append(dc_replace(branch, rate_mw=float(new_limits[branch.index])))
+        return PowerNetwork(
+            buses=self.buses,
+            branches=tuple(new_branches),
+            generators=self.generators,
+            base_mva=self.base_mva,
+            name=self.name,
+        )
+
+    def describe(self) -> str:
+        """Return a short human-readable summary of the case."""
+        return (
+            f"PowerNetwork(name={self.name or 'unnamed'!r}, buses={self.n_buses}, "
+            f"branches={self.n_branches}, generators={self.n_generators}, "
+            f"dfacts={len(self.dfacts_branches)}, "
+            f"total_load={self.total_load_mw():.1f} MW)"
+        )
+
+
+__all__ = ["PowerNetwork"]

@@ -1,0 +1,127 @@
+"""Network sanity checks beyond structural validation.
+
+:class:`~repro.grid.network.PowerNetwork` enforces structural invariants
+(contiguous indices, connectivity, a single slack bus).  The functions here
+perform *operational* sanity checks that are useful before running OPF or
+MTD studies — e.g. whether there is enough generation capacity to serve the
+load, or whether the D-FACTS placement leaves the measurement matrix
+perturbable at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grid.matrices import reduced_measurement_matrix
+from repro.grid.network import PowerNetwork
+from repro.utils.linalg import is_full_column_rank
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_for_operation`.
+
+    Attributes
+    ----------
+    ok:
+        True when no *errors* were found (warnings may still be present).
+    errors:
+        Conditions that make OPF / MTD studies impossible or meaningless.
+    warnings:
+        Conditions that are suspicious but not fatal (e.g. no D-FACTS
+        devices installed, extremely tight flow limits).
+    """
+
+    ok: bool = True
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    def add_error(self, message: str) -> None:
+        self.ok = False
+        self.errors.append(message)
+
+    def add_warning(self, message: str) -> None:
+        self.warnings.append(message)
+
+    def summary(self) -> str:
+        lines = [f"validation {'passed' if self.ok else 'FAILED'}"]
+        for err in self.errors:
+            lines.append(f"  error: {err}")
+        for warn in self.warnings:
+            lines.append(f"  warning: {warn}")
+        return "\n".join(lines)
+
+
+def validate_for_operation(network: PowerNetwork) -> ValidationReport:
+    """Run operational sanity checks on ``network``.
+
+    Returns a :class:`ValidationReport`; callers decide whether to treat
+    warnings as fatal.
+    """
+    report = ValidationReport()
+
+    _check_generation_adequacy(network, report)
+    _check_flow_limits(network, report)
+    _check_observability(network, report)
+    _check_dfacts(network, report)
+    return report
+
+
+def _check_generation_adequacy(network: PowerNetwork, report: ValidationReport) -> None:
+    capacity = network.total_generation_capacity_mw()
+    load = network.total_load_mw()
+    if network.n_generators == 0:
+        report.add_error("network has no generators")
+        return
+    if capacity < load:
+        report.add_error(
+            f"total generation capacity {capacity:.1f} MW is below total load {load:.1f} MW"
+        )
+    p_min_total = float(np.sum(network.generator_limits_mw()[0]))
+    if p_min_total > load:
+        report.add_error(
+            f"sum of generator minimum outputs {p_min_total:.1f} MW exceeds load {load:.1f} MW"
+        )
+    if capacity < 1.05 * load:
+        report.add_warning(
+            "generation capacity margin is below 5%; OPF may be infeasible after perturbations"
+        )
+
+
+def _check_flow_limits(network: PowerNetwork, report: ValidationReport) -> None:
+    limits = network.flow_limits_mw()
+    load = network.total_load_mw()
+    finite = limits[np.isfinite(limits)]
+    if finite.size == 0:
+        report.add_warning("no finite branch flow limits; congestion effects cannot appear")
+        return
+    if np.any(finite < 1e-3):
+        report.add_error("some branch flow limits are (near) zero")
+    if load > 0 and float(np.max(finite)) < 0.01 * load:
+        report.add_warning("all branch limits are tiny relative to total load")
+
+
+def _check_observability(network: PowerNetwork, report: ValidationReport) -> None:
+    H = reduced_measurement_matrix(network)
+    if not is_full_column_rank(H):
+        report.add_error(
+            "reduced measurement matrix is rank deficient; the network is unobservable"
+        )
+
+
+def _check_dfacts(network: PowerNetwork, report: ValidationReport) -> None:
+    dfacts = network.dfacts_branches
+    if not dfacts:
+        report.add_warning("no D-FACTS devices installed; MTD perturbations are impossible")
+        return
+    for index in dfacts:
+        branch = network.branches[index]
+        if branch.dfacts_min_factor == branch.dfacts_max_factor == 1.0:
+            report.add_warning(
+                f"branch {index} has a D-FACTS device with a degenerate adjustment range"
+            )
+
+
+__all__ = ["ValidationReport", "validate_for_operation"]

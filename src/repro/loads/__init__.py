@@ -1,0 +1,13 @@
+"""Load profiles for the dynamic-load experiments."""
+
+from repro.loads.profiles import (
+    nyiso_like_winter_day,
+    scale_profile_to_band,
+    hourly_loads_for_network,
+)
+
+__all__ = [
+    "nyiso_like_winter_day",
+    "scale_profile_to_band",
+    "hourly_loads_for_network",
+]

@@ -1,0 +1,136 @@
+"""Detectability conditions for MTD perturbations.
+
+Implements the formal results of Section V of the paper:
+
+* **Proposition 1** — an attack ``a = Hc`` is undetectable under MTD ``H'``
+  if (and, for the noiseless residual, only if) ``a ∈ Col(H')``, i.e.
+  ``rank(H') == rank([H' a])``.
+* **Theorem 1** — if ``Col(H')`` is orthogonal to ``Col(H)``, no non-zero
+  attack of the form ``a = Hc`` is undetectable, and every such attack's
+  detection probability is maximised.
+
+Because real D-FACTS ranges rarely allow the orthogonality condition, the
+module also exposes the subspace of attacks that *do* survive a given
+perturbation (the intersection of the two column spaces), which quantifies
+exactly what the MTD leaves uncovered.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mtd.subspace import is_orthogonal_complement, principal_angles
+from repro.utils.linalg import orthonormal_basis, vector_in_column_space
+
+
+def attack_remains_stealthy(
+    attack: np.ndarray,
+    post_mtd_matrix: np.ndarray,
+    tol: float = 1e-8,
+) -> bool:
+    """Proposition 1 predicate.
+
+    Parameters
+    ----------
+    attack:
+        The attack vector ``a = Hc`` crafted from the attacker's (outdated)
+        measurement matrix.
+    post_mtd_matrix:
+        The post-perturbation measurement matrix ``H'``.
+    tol:
+        Relative tolerance of the column-space membership test.
+
+    Returns
+    -------
+    bool
+        True when the attack lies in ``Col(H')`` and therefore keeps its
+        detection probability at the false-positive rate.
+    """
+    return vector_in_column_space(post_mtd_matrix, attack, tol=tol)
+
+
+def admits_no_undetectable_attacks(
+    pre_matrix: np.ndarray,
+    post_matrix: np.ndarray,
+    tol: float = 1e-8,
+    require_orthogonality: bool = False,
+) -> bool:
+    """Check whether an MTD admits no undetectable attacks of the form ``Hc``.
+
+    Two notions are offered:
+
+    * With ``require_orthogonality=True`` this is exactly Theorem 1's
+      sufficient condition — ``Col(H')`` orthogonal to ``Col(H)`` — which also
+      guarantees maximal detection probability.
+    * With the default ``require_orthogonality=False`` the (weaker) necessary
+      and sufficient condition for the *absence of perfectly stealthy attacks*
+      is used: the two column spaces intersect only at the origin, i.e. every
+      principal angle is strictly positive.
+    """
+    if require_orthogonality:
+        return is_orthogonal_complement(pre_matrix, post_matrix, tol=tol)
+    angles = principal_angles(pre_matrix, post_matrix)
+    if angles.size == 0:
+        return True
+    return bool(angles[0] > tol)
+
+
+def undetectable_attack_subspace(
+    pre_matrix: np.ndarray,
+    post_matrix: np.ndarray,
+    tol: float = 1e-8,
+) -> np.ndarray:
+    """Orthonormal basis of the attacks that stay stealthy under the MTD.
+
+    The surviving attacks are exactly ``Col(H) ∩ Col(H')`` (Proposition 1).
+    The intersection is computed from the principal-vector pairs with
+    (numerically) zero principal angle.
+
+    Returns
+    -------
+    numpy.ndarray
+        An ``M x k`` matrix whose columns form an orthonormal basis of the
+        intersection; ``k = 0`` (an ``M x 0`` matrix) when the MTD admits no
+        perfectly stealthy attacks.
+    """
+    basis_pre = orthonormal_basis(pre_matrix)
+    basis_post = orthonormal_basis(post_matrix)
+    if basis_pre.size == 0 or basis_post.size == 0:
+        return np.zeros((np.asarray(pre_matrix).shape[0], 0))
+    # Principal vectors via the SVD of the cross-Gram matrix.
+    cross = basis_pre.T @ basis_post
+    u, singular_values, _ = np.linalg.svd(cross)
+    # Intersection directions correspond to singular values equal to one
+    # (cosine of a zero principal angle).
+    mask = singular_values >= 1.0 - tol
+    if not np.any(mask):
+        return np.zeros((basis_pre.shape[0], 0))
+    directions = basis_pre @ u[:, mask]
+    return orthonormal_basis(directions)
+
+
+def surviving_attack_fraction(
+    pre_matrix: np.ndarray,
+    post_matrix: np.ndarray,
+    tol: float = 1e-8,
+) -> float:
+    """Dimension fraction of the attack space that survives the MTD.
+
+    Returns ``dim(Col(H) ∩ Col(H')) / dim(Col(H))`` — a structural (noise
+    free) counterpart of ``1 − η'(α)``: the share of independent attack
+    directions that keep a detection probability equal to the false-positive
+    rate.
+    """
+    pre_dim = orthonormal_basis(pre_matrix).shape[1]
+    if pre_dim == 0:
+        return 0.0
+    surviving = undetectable_attack_subspace(pre_matrix, post_matrix, tol=tol).shape[1]
+    return surviving / pre_dim
+
+
+__all__ = [
+    "attack_remains_stealthy",
+    "admits_no_undetectable_attacks",
+    "undetectable_attack_subspace",
+    "surviving_attack_fraction",
+]

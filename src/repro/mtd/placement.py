@@ -1,0 +1,247 @@
+"""D-FACTS placement for moving-target defense.
+
+The paper takes the set of D-FACTS-equipped branches ``L_D`` as given and
+asks how to perturb them.  A natural planning question sits one level up:
+*where should the devices be installed* so that effective MTD perturbations
+exist at all?  This module provides the structural analysis and a greedy
+placement heuristic:
+
+* :func:`stealthy_dimension` — the number of independent attack directions
+  that remain stealthy under *every* realisable perturbation of a given
+  placement.  A state bias that is constant across the endpoints of every
+  perturbable line produces identical measurements before and after any
+  perturbation, so the stealthy dimension equals the number of connected
+  components of the graph obtained by contracting the D-FACTS edges, minus
+  one; additionally at most ``2(N−1) − L`` directions always survive for
+  *any* placement (the measurement space simply is not big enough).
+* :func:`greedy_placement` — picks branches one at a time, each time adding
+  the branch that most reduces the stealthy dimension (ties broken by the
+  achievable subspace angle), reproducing the common "cover a spanning tree"
+  guidance from the MTD literature that followed the paper.
+* :func:`placement_report` — summary of a placement's protection limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import MTDDesignError
+from repro.grid.matrices import reduced_measurement_matrix
+from repro.grid.network import PowerNetwork
+from repro.mtd.subspace import subspace_angle
+
+
+def stealthy_dimension(network: PowerNetwork, dfacts_branches: Sequence[int] | None = None) -> int:
+    """Number of attack directions that survive every realisable MTD.
+
+    Parameters
+    ----------
+    network:
+        The grid under study.
+    dfacts_branches:
+        Branch indices carrying D-FACTS devices; defaults to the network's
+        installed set.
+
+    Returns
+    -------
+    int
+        The dimension of the subspace of state biases ``c`` whose attacks
+        ``Hc`` stay stealthy under *any* admissible perturbation.
+    """
+    if dfacts_branches is None:
+        dfacts_branches = network.dfacts_branches
+    branch_set = set(int(b) for b in dfacts_branches)
+    unknown = branch_set - set(range(network.n_branches))
+    if unknown:
+        raise MTDDesignError(f"unknown branch indices: {sorted(unknown)}")
+
+    # Contract every D-FACTS edge: state biases constant across each
+    # perturbed line are invisible to the perturbation, so the surviving
+    # directions correspond to the contracted graph's components (minus the
+    # slack reference).
+    parent = list(range(network.n_buses))
+
+    def find(node: int) -> int:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def union(a: int, b: int) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_b] = root_a
+
+    for index in branch_set:
+        branch = network.branches[index]
+        union(branch.from_bus, branch.to_bus)
+    components = len({find(node) for node in range(network.n_buses)})
+    contraction_bound = components - 1
+
+    # Dimension-counting bound: Col(H) and Col(H') are (N−1)-dimensional
+    # subspaces of a space whose "perturbable" directions number L, so at
+    # least 2(N−1) − L directions always coincide.
+    counting_bound = max(0, 2 * (network.n_buses - 1) - network.n_branches)
+    return max(contraction_bound, counting_bound)
+
+
+@dataclass(frozen=True)
+class PlacementReport:
+    """Summary of a D-FACTS placement's protection limits.
+
+    Attributes
+    ----------
+    branches:
+        The placed branch indices.
+    stealthy_dimension:
+        Directions that survive every realisable perturbation.
+    stealthy_fraction:
+        The same, relative to the state dimension ``N − 1``.
+    achievable_angle:
+        Subspace angle of the representative extreme perturbation used for
+        ranking (all placed branches moved to alternating limits).
+    covers_spanning_tree:
+        True when the placed branches connect every bus (the contraction
+        bound is zero) — the necessary condition for driving the surviving
+        dimension down to the counting bound.
+    """
+
+    branches: tuple[int, ...]
+    stealthy_dimension: int
+    stealthy_fraction: float
+    achievable_angle: float
+    covers_spanning_tree: bool
+
+
+def placement_report(
+    network: PowerNetwork, dfacts_branches: Sequence[int] | None = None
+) -> PlacementReport:
+    """Build a :class:`PlacementReport` for a placement."""
+    if dfacts_branches is None:
+        dfacts_branches = network.dfacts_branches
+    branches = tuple(sorted(int(b) for b in dfacts_branches))
+    dimension = stealthy_dimension(network, branches)
+    n_states = network.n_buses - 1
+    angle = _representative_angle(network, branches)
+    contraction_only = _contraction_dimension(network, branches)
+    return PlacementReport(
+        branches=branches,
+        stealthy_dimension=dimension,
+        stealthy_fraction=dimension / n_states if n_states else 0.0,
+        achievable_angle=angle,
+        covers_spanning_tree=contraction_only == 0,
+    )
+
+
+def greedy_placement(
+    network: PowerNetwork,
+    n_devices: int,
+    candidate_branches: Iterable[int] | None = None,
+    dfacts_range: float = 0.5,
+) -> tuple[int, ...]:
+    """Greedily choose ``n_devices`` branches to equip with D-FACTS.
+
+    Each step adds the branch that most reduces the stealthy dimension of the
+    placement; ties are broken by the representative achievable subspace
+    angle.  The procedure first builds connectivity (a spanning structure
+    over the buses) and then adds the branches that most increase the
+    achievable separation — matching the qualitative guidance of the MTD
+    placement literature.
+
+    Parameters
+    ----------
+    network:
+        The grid to plan for.
+    n_devices:
+        Number of devices to place (at least 1, at most ``L``).
+    candidate_branches:
+        Optional restriction of the candidate set.
+    dfacts_range:
+        Adjustment range assumed when evaluating achievable angles.
+
+    Returns
+    -------
+    tuple of int
+        The selected branch indices, in selection order.
+    """
+    if n_devices < 1 or n_devices > network.n_branches:
+        raise MTDDesignError(
+            f"n_devices must be within 1..{network.n_branches}, got {n_devices}"
+        )
+    candidates = (
+        list(range(network.n_branches))
+        if candidate_branches is None
+        else sorted(set(int(b) for b in candidate_branches))
+    )
+    unknown = set(candidates) - set(range(network.n_branches))
+    if unknown:
+        raise MTDDesignError(f"unknown branch indices: {sorted(unknown)}")
+    if n_devices > len(candidates):
+        raise MTDDesignError(
+            f"cannot place {n_devices} devices among {len(candidates)} candidates"
+        )
+
+    selected: list[int] = []
+    remaining = list(candidates)
+    for _ in range(n_devices):
+        best_branch = None
+        best_key: tuple[float, float] | None = None
+        for branch in remaining:
+            trial = selected + [branch]
+            dimension = stealthy_dimension(network, trial)
+            angle = _representative_angle(network, trial, dfacts_range)
+            key = (-float(dimension), angle)
+            if best_key is None or key > best_key:
+                best_key = key
+                best_branch = branch
+        assert best_branch is not None  # n_devices <= len(candidates)
+        selected.append(best_branch)
+        remaining.remove(best_branch)
+    return tuple(selected)
+
+
+# ----------------------------------------------------------------------
+def _contraction_dimension(network: PowerNetwork, branches: Sequence[int]) -> int:
+    """The contraction (connectivity) part of the stealthy-dimension bound."""
+    parent = list(range(network.n_buses))
+
+    def find(node: int) -> int:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    for index in branches:
+        branch = network.branches[int(index)]
+        root_a, root_b = find(branch.from_bus), find(branch.to_bus)
+        if root_a != root_b:
+            parent[root_b] = root_a
+    components = len({find(node) for node in range(network.n_buses)})
+    return components - 1
+
+
+def _representative_angle(
+    network: PowerNetwork, branches: Sequence[int], dfacts_range: float = 0.5
+) -> float:
+    """Subspace angle of an alternating extreme perturbation of ``branches``."""
+    if not branches:
+        return 0.0
+    base = network.reactances()
+    perturbed = base.copy()
+    for position, index in enumerate(sorted(int(b) for b in branches)):
+        factor = 1.0 + dfacts_range if position % 2 == 0 else 1.0 - dfacts_range
+        perturbed[index] = base[index] * factor
+    H_before = reduced_measurement_matrix(network, base)
+    H_after = reduced_measurement_matrix(network, perturbed)
+    return subspace_angle(H_before, H_after)
+
+
+__all__ = [
+    "stealthy_dimension",
+    "greedy_placement",
+    "placement_report",
+    "PlacementReport",
+]

@@ -1,0 +1,170 @@
+"""Cost-vs-effectiveness trade-off sweeps (Fig. 6 and Fig. 9).
+
+For a sweep of SPA thresholds ``γ_th`` the designed MTD perturbation, its
+operational cost increase, and its effectiveness ``η'(δ)`` at several
+confidence levels are recorded.  Plotted with cost on one axis and
+effectiveness on the other this reproduces Fig. 9; plotted with the SPA on
+the x-axis it reproduces Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import MTDDesignError
+from repro.grid.network import PowerNetwork
+from repro.mtd.cost import mtd_operational_cost
+from repro.mtd.design import DesignMethod, design_mtd_perturbation
+from repro.mtd.effectiveness import EffectivenessEvaluator
+from repro.opf.result import OPFResult
+
+#: The detection-confidence levels δ reported throughout the paper's figures.
+DEFAULT_DELTAS: tuple[float, ...] = (0.5, 0.8, 0.9, 0.95)
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of the cost-benefit trade-off curve.
+
+    Attributes
+    ----------
+    gamma_threshold:
+        The requested SPA lower bound (radians).
+    achieved_spa:
+        The SPA actually achieved by the designed perturbation.
+    cost_increase:
+        Relative OPF-cost increase ``C_MTD`` (fraction, not percent).
+    eta:
+        Mapping ``δ → η'(δ)`` for the requested confidence levels.
+    perturbed_reactances:
+        The designed reactance vector ``x'``.
+    design_method:
+        Which design strategy produced the perturbation.
+    """
+
+    gamma_threshold: float
+    achieved_spa: float
+    cost_increase: float
+    eta: dict[float, float]
+    perturbed_reactances: np.ndarray
+    design_method: str
+
+    @property
+    def cost_increase_percent(self) -> float:
+        return 100.0 * self.cost_increase
+
+
+@dataclass
+class TradeoffCurve:
+    """A full sweep of :class:`TradeoffPoint` entries."""
+
+    points: list[TradeoffPoint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def gammas(self) -> np.ndarray:
+        return np.array([p.gamma_threshold for p in self.points])
+
+    def achieved_spas(self) -> np.ndarray:
+        return np.array([p.achieved_spa for p in self.points])
+
+    def costs_percent(self) -> np.ndarray:
+        return np.array([p.cost_increase_percent for p in self.points])
+
+    def eta_series(self, delta: float) -> np.ndarray:
+        """``η'(δ)`` along the sweep (one value per γ_th)."""
+        return np.array([p.eta[delta] for p in self.points])
+
+    def cheapest_point_meeting(self, delta: float, eta_target: float) -> TradeoffPoint | None:
+        """The lowest-cost point with ``η'(δ) ≥ eta_target`` (or ``None``)."""
+        qualifying = [p for p in self.points if p.eta.get(delta, 0.0) >= eta_target]
+        if not qualifying:
+            return None
+        return min(qualifying, key=lambda p: p.cost_increase)
+
+
+def compute_tradeoff_curve(
+    network: PowerNetwork,
+    evaluator: EffectivenessEvaluator,
+    gamma_thresholds: Sequence[float],
+    loads_mw: np.ndarray | None = None,
+    deltas: Sequence[float] = DEFAULT_DELTAS,
+    design_method: DesignMethod = "two-stage",
+    baseline_opf: OPFResult | None = None,
+    skip_infeasible: bool = True,
+    seed: int = 0,
+) -> TradeoffCurve:
+    """Sweep ``γ_th`` and record cost and effectiveness of each design.
+
+    Parameters
+    ----------
+    network:
+        The grid under study (D-FACTS limits bound the designs).
+    evaluator:
+        Effectiveness evaluator pinned to the attacker's knowledge; reused
+        across the sweep so every design is judged on the same attacks.
+    gamma_thresholds:
+        The SPA thresholds to sweep (radians).
+    loads_mw:
+        Load vector of the operating hour (defaults to nominal loads).
+    deltas:
+        Detection-confidence levels to report.
+    design_method:
+        Design strategy; the fast ``"two-stage"`` heuristic is the default
+        for sweeps, ``"joint"`` reproduces the paper's solver exactly.
+    baseline_opf:
+        Optional pre-computed no-MTD OPF (reused across the sweep).
+    skip_infeasible:
+        Skip thresholds exceeding the achievable SPA instead of raising.
+    seed:
+        Seed forwarded to the designs.
+
+    Returns
+    -------
+    TradeoffCurve
+    """
+    curve = TradeoffCurve()
+    preferred = None if baseline_opf is None else baseline_opf.reactances
+    for gamma in gamma_thresholds:
+        try:
+            design = design_mtd_perturbation(
+                network,
+                gamma_threshold=float(gamma),
+                attacker_reactances=evaluator.base_reactances,
+                loads_mw=loads_mw,
+                method=design_method,
+                preferred_reactances=preferred,
+                seed=seed,
+            )
+        except MTDDesignError:
+            if skip_infeasible:
+                continue
+            raise
+        cost = mtd_operational_cost(
+            network,
+            design.perturbed_reactances,
+            loads_mw=loads_mw,
+            baseline_result=baseline_opf,
+        )
+        effectiveness = evaluator.evaluate(design.perturbed_reactances)
+        curve.points.append(
+            TradeoffPoint(
+                gamma_threshold=float(gamma),
+                achieved_spa=design.achieved_spa,
+                cost_increase=cost.relative_increase,
+                eta={float(d): effectiveness.eta(float(d)) for d in deltas},
+                perturbed_reactances=design.perturbed_reactances,
+                design_method=design.method,
+            )
+        )
+    return curve
+
+
+__all__ = ["TradeoffCurve", "TradeoffPoint", "compute_tradeoff_curve", "DEFAULT_DELTAS"]

@@ -1,0 +1,28 @@
+"""Optimal power flow solvers.
+
+Two solvers are provided:
+
+* :func:`~repro.opf.dc_opf.solve_dc_opf` — the classic dispatch-only DC-OPF
+  (reactances fixed), a linear program solved with HiGHS via
+  :func:`scipy.optimize.linprog`.  This is the problem the system operator
+  solves between MTD updates (paper eq. (1) without the reactance decision).
+* :func:`~repro.opf.reactance_opf.solve_reactance_opf` — the joint dispatch +
+  D-FACTS reactance OPF of paper eq. (1), a non-linear program solved with
+  SLSQP under a MultiStart driver (the Python equivalent of the paper's
+  ``fmincon`` + MultiStart).  The MTD design problem (paper eq. (4)) reuses
+  this machinery and adds the subspace-angle constraint.
+"""
+
+from repro.opf.result import OPFResult
+from repro.opf.dc_opf import solve_dc_opf
+from repro.opf.reactance_opf import ReactanceOPFProblem, solve_reactance_opf
+from repro.opf.multistart import MultiStartOptimizer, MultiStartOutcome
+
+__all__ = [
+    "OPFResult",
+    "solve_dc_opf",
+    "solve_reactance_opf",
+    "ReactanceOPFProblem",
+    "MultiStartOptimizer",
+    "MultiStartOutcome",
+]

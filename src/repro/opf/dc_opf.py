@@ -1,0 +1,150 @@
+"""Dispatch-only DC optimal power flow (paper eq. (1) with fixed reactances).
+
+The problem is a linear program:
+
+.. math::
+
+    \\min_{g, θ} \\; \\sum_i c_i G_i
+    \\quad \\text{s.t.} \\quad
+    C g − l = B θ, \\;
+    −f^{max} ≤ D A^T θ ≤ f^{max}, \\;
+    g^{min} ≤ g ≤ g^{max},
+
+with the slack angle fixed to zero.  It is solved with the HiGHS solver via
+:func:`scipy.optimize.linprog`.  This is the OPF the operator runs every few
+minutes between MTD updates; it is also used to price the *post*-perturbation
+system once the MTD reactances have been chosen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.exceptions import OPFInfeasibleError
+from repro.grid.matrices import (
+    branch_flow_matrix,
+    generator_incidence_matrix,
+    non_slack_indices,
+    susceptance_matrix,
+)
+from repro.grid.network import PowerNetwork
+from repro.opf.result import OPFResult
+
+
+def solve_dc_opf(
+    network: PowerNetwork,
+    reactances: np.ndarray | None = None,
+    loads_mw: np.ndarray | None = None,
+) -> OPFResult:
+    """Solve the dispatch-only DC-OPF.
+
+    Parameters
+    ----------
+    network:
+        Network to dispatch.
+    reactances:
+        Optional branch-reactance override (per unit, one entry per branch).
+        Used to evaluate the cost of an MTD-perturbed system without
+        materialising a new network object.
+    loads_mw:
+        Optional bus-load override (MW, one entry per bus).  Used by the
+        dynamic-load experiments.
+
+    Returns
+    -------
+    OPFResult
+
+    Raises
+    ------
+    OPFInfeasibleError
+        If no feasible dispatch exists (e.g. after an aggressive reactance
+        perturbation under tight flow limits).
+    """
+    base = network.base_mva
+    n_gen = network.n_generators
+    n_bus = network.n_buses
+    keep = non_slack_indices(network)
+    n_theta = keep.shape[0]
+
+    loads = network.loads_mw() if loads_mw is None else np.asarray(loads_mw, dtype=float)
+    if loads.shape[0] != n_bus:
+        raise OPFInfeasibleError(
+            f"expected {n_bus} loads, got {loads.shape[0]}", status="bad-input"
+        )
+
+    # Per-unit quantities for numerical conditioning.
+    loads_pu = loads / base
+    p_min, p_max = network.generator_limits_mw()
+    costs = network.generator_costs()  # $/MWh
+    limits = network.flow_limits_mw() / base
+
+    C = generator_incidence_matrix(network)         # N x G
+    B = susceptance_matrix(network, reactances)     # N x N (per unit)
+    F = branch_flow_matrix(network, reactances)     # L x N (per unit)
+
+    # Decision variables: [g (G, p.u.), theta (N-1, rad)].
+    n_var = n_gen + n_theta
+
+    # Objective: minimise sum_i c_i * G_i(MW) = sum_i (c_i * base) * g_i(p.u.).
+    objective = np.concatenate([costs * base, np.zeros(n_theta)])
+
+    # Nodal balance: C g − l = B θ  →  C g − B_keep θ = l.
+    A_eq = np.zeros((n_bus, n_var))
+    A_eq[:, :n_gen] = C
+    A_eq[:, n_gen:] = -B[:, keep]
+    b_eq = loads_pu
+
+    # Flow limits: −f^max ≤ F_keep θ ≤ f^max (rows with infinite limits dropped).
+    finite = np.isfinite(limits)
+    F_keep = F[np.ix_(finite, keep)]
+    n_limited = int(np.sum(finite))
+    A_ub = np.zeros((2 * n_limited, n_var))
+    A_ub[:n_limited, n_gen:] = F_keep
+    A_ub[n_limited:, n_gen:] = -F_keep
+    b_ub = np.concatenate([limits[finite], limits[finite]])
+
+    bounds = [(p_min[g] / base, p_max[g] / base) for g in range(n_gen)]
+    bounds += [(None, None)] * n_theta
+
+    solution = linprog(
+        objective,
+        A_ub=A_ub if n_limited else None,
+        b_ub=b_ub if n_limited else None,
+        A_eq=A_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if not solution.success:
+        raise OPFInfeasibleError(
+            f"DC-OPF is infeasible or unbounded: {solution.message}",
+            status=str(solution.status),
+        )
+
+    dispatch_pu = solution.x[:n_gen]
+    theta = np.zeros(n_bus)
+    theta[keep] = solution.x[n_gen:]
+    flows_pu = F @ theta
+
+    x_solution = network.reactances() if reactances is None else np.asarray(reactances, dtype=float)
+    return OPFResult(
+        cost=float(solution.fun),
+        dispatch_mw=dispatch_pu * base,
+        angles_rad=theta,
+        flows_mw=flows_pu * base,
+        reactances=x_solution.copy(),
+        success=True,
+        status="optimal",
+        iterations=int(getattr(solution, "nit", 0) or 0),
+        constraint_violation=0.0,
+    )
+
+
+def opf_cost(network: PowerNetwork, reactances: np.ndarray | None = None,
+             loads_mw: np.ndarray | None = None) -> float:
+    """Convenience wrapper returning only the optimal cost ``C_OPF``."""
+    return solve_dc_opf(network, reactances=reactances, loads_mw=loads_mw).cost
+
+
+__all__ = ["solve_dc_opf", "opf_cost"]

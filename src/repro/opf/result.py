@@ -1,0 +1,81 @@
+"""Result container shared by all OPF solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grid.network import PowerNetwork
+
+
+@dataclass(frozen=True)
+class OPFResult:
+    """Solution of an optimal power flow problem.
+
+    Attributes
+    ----------
+    cost:
+        Objective value — total generation cost in $ per hour.
+    dispatch_mw:
+        Generator outputs in MW, ordered by generator index.
+    angles_rad:
+        Bus voltage phase angles (radians), slack angle zero.
+    flows_mw:
+        Branch flows in MW.
+    reactances:
+        Branch reactances (p.u.) at the solution.  Equal to the network's
+        nominal reactances for the dispatch-only OPF; for the joint problem
+        they include the optimised D-FACTS settings.
+    success:
+        Whether the solver reports an optimal (feasible) solution.
+    status:
+        Human-readable solver status message.
+    iterations:
+        Iteration count reported by the solver (0 when unavailable).
+    constraint_violation:
+        Maximum constraint violation at the returned point (0 for LP
+        solutions; small positive numbers may occur for the non-linear
+        solver and are checked against a tolerance by callers).
+    """
+
+    cost: float
+    dispatch_mw: np.ndarray
+    angles_rad: np.ndarray
+    flows_mw: np.ndarray
+    reactances: np.ndarray
+    success: bool
+    status: str = ""
+    iterations: int = 0
+    constraint_violation: float = 0.0
+
+    def total_generation_mw(self) -> float:
+        """Total dispatched generation in MW."""
+        return float(np.sum(self.dispatch_mw))
+
+    def binding_flow_limits(self, network: PowerNetwork, tol: float = 1e-3) -> list[int]:
+        """Branches whose flow is within ``tol`` MW of the limit (congested lines)."""
+        limits = network.flow_limits_mw()
+        binding = []
+        for i in range(network.n_branches):
+            if np.isfinite(limits[i]) and abs(abs(self.flows_mw[i]) - limits[i]) <= tol:
+                binding.append(i)
+        return binding
+
+    def dispatch_by_bus(self, network: PowerNetwork) -> np.ndarray:
+        """Aggregate dispatched generation per bus (MW)."""
+        per_bus = np.zeros(network.n_buses)
+        for gen in network.generators:
+            per_bus[gen.bus] += self.dispatch_mw[gen.index]
+        return per_bus
+
+    def summary(self) -> str:
+        """Short, human-readable description of the solution."""
+        return (
+            f"OPFResult(cost=${self.cost:,.2f}, "
+            f"generation={self.total_generation_mw():.1f} MW, "
+            f"success={self.success}, status={self.status!r})"
+        )
+
+
+__all__ = ["OPFResult"]

@@ -1,0 +1,181 @@
+"""DC power-flow solver.
+
+The DC model treats the network as a linear resistive analogue: given the
+net nodal injections ``p = g − l`` (in MW), the bus voltage phase angles
+solve the reduced linear system ``B_red θ_red = p_red`` with the slack angle
+fixed to zero, and the branch flows follow as ``f = D Aᵀ θ``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import PowerFlowError
+from repro.grid.matrices import (
+    branch_flow_matrix,
+    non_slack_indices,
+    reduced_susceptance_matrix,
+)
+from repro.grid.network import PowerNetwork
+
+
+@dataclass(frozen=True)
+class DCPowerFlowResult:
+    """Outcome of a DC power-flow solution.
+
+    Attributes
+    ----------
+    angles_rad:
+        Bus voltage phase angles in radians (slack angle is zero), ordered
+        by bus index.
+    flows_mw:
+        Branch active-power flows in MW, ordered by branch index, positive
+        in the from→to direction.
+    injections_mw:
+        Net nodal injections used as input, in MW.
+    slack_injection_mw:
+        The injection at the slack bus implied by the other injections
+        (i.e. minus their sum), useful when the caller supplies only
+        non-slack injections.
+    """
+
+    angles_rad: np.ndarray
+    flows_mw: np.ndarray
+    injections_mw: np.ndarray
+    slack_injection_mw: float
+
+    def max_loading(self, limits_mw: np.ndarray) -> float:
+        """Return the maximum branch loading ratio ``|f| / F^max``."""
+        limits = np.asarray(limits_mw, dtype=float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = np.abs(self.flows_mw) / limits
+        ratios = np.where(np.isfinite(ratios), ratios, 0.0)
+        return float(np.max(ratios)) if ratios.size else 0.0
+
+    def overloaded_branches(self, limits_mw: np.ndarray, tol: float = 1e-6) -> list[int]:
+        """Indices of branches whose |flow| exceeds the limit by more than ``tol``."""
+        limits = np.asarray(limits_mw, dtype=float)
+        return [
+            int(i)
+            for i in range(self.flows_mw.shape[0])
+            if np.isfinite(limits[i]) and abs(self.flows_mw[i]) > limits[i] + tol
+        ]
+
+
+def solve_dc_power_flow(
+    network: PowerNetwork,
+    injections_mw: np.ndarray | None = None,
+    generation_mw: np.ndarray | None = None,
+    reactances: np.ndarray | None = None,
+    balance_at_slack: bool = True,
+) -> DCPowerFlowResult:
+    """Solve the DC power flow for ``network``.
+
+    Exactly one of ``injections_mw`` (per-bus net injections) or
+    ``generation_mw`` (per-generator outputs, combined with the network's
+    loads) must describe the injections; if both are omitted the network
+    loads are used with zero generation (useful only for testing).
+
+    Parameters
+    ----------
+    network:
+        The network to solve.
+    injections_mw:
+        Net injection per bus (generation minus load), in MW.
+    generation_mw:
+        Output of each generator in MW (ordered by generator index); the
+        bus-level injection is computed as ``C g − l``.
+    reactances:
+        Optional branch-reactance override (one entry per branch).
+    balance_at_slack:
+        When true (default), any active-power imbalance is absorbed by the
+        slack bus, mirroring the standard DC power-flow convention.  When
+        false, an imbalance larger than 1e-6 of the total load raises
+        :class:`PowerFlowError`.
+
+    Returns
+    -------
+    DCPowerFlowResult
+    """
+    injections = _resolve_injections(network, injections_mw, generation_mw)
+
+    slack = network.slack_bus
+    imbalance = float(np.sum(injections))
+    if balance_at_slack:
+        injections = injections.copy()
+        injections[slack] -= imbalance
+    else:
+        scale = max(1.0, network.total_load_mw())
+        if abs(imbalance) > 1e-6 * scale:
+            raise PowerFlowError(
+                f"net injections do not balance (residual {imbalance:.6f} MW) "
+                "and balance_at_slack is disabled"
+            )
+
+    keep = non_slack_indices(network)
+    B_red = reduced_susceptance_matrix(network, reactances)
+    try:
+        theta_red = np.linalg.solve(B_red, injections[keep])
+    except np.linalg.LinAlgError as exc:
+        raise PowerFlowError(
+            "susceptance matrix is singular; the network appears disconnected"
+        ) from exc
+
+    angles = np.zeros(network.n_buses)
+    angles[keep] = theta_red
+    flows = flows_from_angles(network, angles, reactances)
+    return DCPowerFlowResult(
+        angles_rad=angles,
+        flows_mw=flows,
+        injections_mw=injections,
+        slack_injection_mw=float(injections[slack]),
+    )
+
+
+def flows_from_angles(
+    network: PowerNetwork,
+    angles_rad: np.ndarray,
+    reactances: np.ndarray | None = None,
+) -> np.ndarray:
+    """Compute branch flows (MW) from bus angles using ``f = D Aᵀ θ``."""
+    angles = np.asarray(angles_rad, dtype=float).ravel()
+    if angles.shape[0] != network.n_buses:
+        raise PowerFlowError(
+            f"expected {network.n_buses} angles, got {angles.shape[0]}"
+        )
+    return branch_flow_matrix(network, reactances) @ angles
+
+
+def _resolve_injections(
+    network: PowerNetwork,
+    injections_mw: np.ndarray | None,
+    generation_mw: np.ndarray | None,
+) -> np.ndarray:
+    if injections_mw is not None and generation_mw is not None:
+        raise PowerFlowError(
+            "provide either injections_mw or generation_mw, not both"
+        )
+    if injections_mw is not None:
+        injections = np.asarray(injections_mw, dtype=float).ravel()
+        if injections.shape[0] != network.n_buses:
+            raise PowerFlowError(
+                f"expected {network.n_buses} injections, got {injections.shape[0]}"
+            )
+        return injections.copy()
+    loads = network.loads_mw()
+    if generation_mw is None:
+        return -loads
+    generation = np.asarray(generation_mw, dtype=float).ravel()
+    if generation.shape[0] != network.n_generators:
+        raise PowerFlowError(
+            f"expected {network.n_generators} generator outputs, got {generation.shape[0]}"
+        )
+    injections = -loads
+    for gen in network.generators:
+        injections[gen.bus] += generation[gen.index]
+    return injections
+
+
+__all__ = ["DCPowerFlowResult", "solve_dc_power_flow", "flows_from_angles"]

@@ -1,0 +1,82 @@
+"""Power transfer distribution factors (PTDF).
+
+The PTDF matrix maps changes in nodal injections to changes in branch flows
+under the DC model.  It is used by the attack-impact analysis (how much an
+FDI-induced redispatch shifts line flows) and by diagnostics in the OPF
+layer, and offers a convenient cross-check of the DC power-flow solver in
+tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import PowerFlowError
+from repro.grid.matrices import (
+    branch_flow_matrix,
+    non_slack_indices,
+    reduced_susceptance_matrix,
+)
+from repro.grid.network import PowerNetwork
+
+
+def ptdf_matrix(
+    network: PowerNetwork, reactances: np.ndarray | None = None
+) -> np.ndarray:
+    """Return the ``L x N`` PTDF matrix with respect to the slack bus.
+
+    Column ``i`` gives the change in every branch flow per 1 MW injected at
+    bus ``i`` and withdrawn at the slack bus.  The slack column is zero.
+    """
+    keep = non_slack_indices(network)
+    B_red = reduced_susceptance_matrix(network, reactances)
+    try:
+        B_inv = np.linalg.inv(B_red)
+    except np.linalg.LinAlgError as exc:
+        raise PowerFlowError(
+            "susceptance matrix is singular; cannot compute PTDF"
+        ) from exc
+    flow_map = branch_flow_matrix(network, reactances)  # L x N
+    ptdf = np.zeros((network.n_branches, network.n_buses))
+    ptdf[:, keep] = flow_map[:, keep] @ B_inv
+    return ptdf
+
+
+def generation_shift_factors(
+    network: PowerNetwork,
+    from_bus: int,
+    to_bus: int,
+    reactances: np.ndarray | None = None,
+) -> np.ndarray:
+    """Flow sensitivity to shifting 1 MW of injection from one bus to another.
+
+    Returns an ``L``-vector: entry ``l`` is the change of flow on branch
+    ``l`` when 1 MW of generation moves from ``from_bus`` to ``to_bus``.
+    """
+    if from_bus < 0 or from_bus >= network.n_buses:
+        raise PowerFlowError(f"unknown bus index {from_bus}")
+    if to_bus < 0 or to_bus >= network.n_buses:
+        raise PowerFlowError(f"unknown bus index {to_bus}")
+    ptdf = ptdf_matrix(network, reactances)
+    return ptdf[:, from_bus] - ptdf[:, to_bus]
+
+
+def flows_from_injections(
+    network: PowerNetwork,
+    injections_mw: np.ndarray,
+    reactances: np.ndarray | None = None,
+) -> np.ndarray:
+    """Branch flows implied by a balanced injection vector, via the PTDF.
+
+    This is an alternative route to :func:`repro.powerflow.dc.solve_dc_power_flow`
+    used for cross-validation in tests.
+    """
+    injections = np.asarray(injections_mw, dtype=float).ravel()
+    if injections.shape[0] != network.n_buses:
+        raise PowerFlowError(
+            f"expected {network.n_buses} injections, got {injections.shape[0]}"
+        )
+    return ptdf_matrix(network, reactances) @ injections
+
+
+__all__ = ["ptdf_matrix", "generation_shift_factors", "flows_from_injections"]

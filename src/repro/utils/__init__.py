@@ -1,0 +1,31 @@
+"""Shared utilities used across the :mod:`repro` library.
+
+The helpers here are intentionally small and dependency free (beyond numpy /
+scipy) so that every other subpackage can import them without creating
+circular dependencies.
+"""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.linalg import (
+    column_space_projector,
+    orthonormal_basis,
+    residual_projector,
+    is_full_column_rank,
+)
+from repro.utils.units import (
+    mw_to_pu,
+    pu_to_mw,
+    DEFAULT_BASE_MVA,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "column_space_projector",
+    "orthonormal_basis",
+    "residual_projector",
+    "is_full_column_rank",
+    "mw_to_pu",
+    "pu_to_mw",
+    "DEFAULT_BASE_MVA",
+]

@@ -1,0 +1,161 @@
+"""Tests for the benchmark cases and the case registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CaseNotFoundError
+from repro.grid.cases import available_cases, case4gs, case14, case30, load_case, register_case, synthetic_case
+from repro.grid.cases.case14 import DEFAULT_DFACTS_BRANCHES
+from repro.grid.network import PowerNetwork
+from repro.grid.validation import validate_for_operation
+
+
+class TestCase4:
+    def test_dimensions(self, net4):
+        assert net4.n_buses == 4
+        assert net4.n_branches == 4
+        assert net4.n_generators == 2
+
+    def test_loads_match_paper_figure(self, net4):
+        np.testing.assert_allclose(net4.loads_mw(), [50.0, 170.0, 200.0, 80.0])
+
+    def test_all_lines_have_dfacts_by_default(self, net4):
+        assert net4.dfacts_branches == (0, 1, 2, 3)
+
+    def test_no_dfacts_option(self):
+        net = case4gs(dfacts_all_lines=False)
+        assert net.dfacts_branches == ()
+
+    def test_operationally_valid(self, net4):
+        assert validate_for_operation(net4).ok
+
+
+class TestCase14:
+    def test_dimensions(self, net14):
+        assert net14.n_buses == 14
+        assert net14.n_branches == 20
+        assert net14.n_generators == 5
+        assert net14.n_measurements == 54
+
+    def test_total_load_matches_standard_case(self, net14):
+        assert net14.total_load_mw() == pytest.approx(259.0)
+
+    def test_generator_parameters_match_table_iv(self, net14):
+        buses = [gen.bus + 1 for gen in net14.generators]
+        p_max = [gen.p_max_mw for gen in net14.generators]
+        costs = [gen.cost_per_mwh for gen in net14.generators]
+        assert buses == [1, 2, 3, 6, 8]
+        assert p_max == [300.0, 50.0, 30.0, 50.0, 20.0]
+        assert costs == [20.0, 30.0, 40.0, 50.0, 35.0]
+
+    def test_dfacts_placement_matches_paper(self, net14):
+        expected = tuple(sorted(b - 1 for b in DEFAULT_DFACTS_BRANCHES))
+        assert net14.dfacts_branches == expected
+
+    def test_flow_limits_match_paper(self, net14):
+        limits = net14.flow_limits_mw()
+        assert limits[0] == pytest.approx(160.0)
+        np.testing.assert_allclose(limits[1:], np.full(19, 60.0))
+
+    def test_dfacts_range_default_half(self, net14):
+        x_min, x_max = net14.reactance_bounds()
+        x = net14.reactances()
+        for index in net14.dfacts_branches:
+            assert x_min[index] == pytest.approx(0.5 * x[index])
+            assert x_max[index] == pytest.approx(1.5 * x[index])
+
+    def test_custom_dfacts_selection(self):
+        net = case14(dfacts_branches=(2, 3))
+        assert net.dfacts_branches == (1, 2)
+
+    def test_invalid_dfacts_branch_number(self):
+        with pytest.raises(ValueError):
+            case14(dfacts_branches=(0,))
+
+    def test_operationally_valid(self, net14):
+        assert validate_for_operation(net14).ok
+
+
+class TestCase30:
+    def test_dimensions(self, net30):
+        assert net30.n_buses == 30
+        assert net30.n_branches == 41
+        assert net30.n_generators == 6
+
+    def test_total_load_reasonable(self, net30):
+        assert 180.0 <= net30.total_load_mw() <= 200.0
+
+    def test_has_dfacts(self, net30):
+        assert len(net30.dfacts_branches) == 10
+
+    def test_operationally_valid(self, net30):
+        assert validate_for_operation(net30).ok
+
+
+class TestRegistry:
+    def test_available_cases_contains_builtins(self):
+        names = available_cases()
+        for expected in ("case4gs", "ieee14", "ieee30", "case14", "case30"):
+            assert expected in names
+
+    def test_load_case_by_name(self):
+        net = load_case("ieee14")
+        assert isinstance(net, PowerNetwork)
+        assert net.n_buses == 14
+
+    def test_load_case_forwards_kwargs(self):
+        net = load_case("ieee14", dfacts_range=0.3)
+        x_min, _ = net.reactance_bounds()
+        index = net.dfacts_branches[0]
+        assert x_min[index] == pytest.approx(0.7 * net.reactances()[index])
+
+    def test_unknown_case_raises(self):
+        with pytest.raises(CaseNotFoundError):
+            load_case("ieee118")
+
+    def test_register_and_load_custom_case(self):
+        register_case("tiny-test-case", lambda: case4gs(), overwrite=True)
+        assert load_case("tiny-test-case").n_buses == 4
+
+    def test_duplicate_registration_rejected(self):
+        register_case("duplicate-case", lambda: case4gs(), overwrite=True)
+        with pytest.raises(ValueError):
+            register_case("duplicate-case", lambda: case4gs())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_case("  ", lambda: case4gs())
+
+
+class TestSyntheticCase:
+    def test_basic_properties(self):
+        net = synthetic_case(n_buses=12, seed=3)
+        assert net.n_buses == 12
+        assert net.n_branches >= 11  # at least a spanning tree
+        assert net.n_generators >= 2
+        assert validate_for_operation(net).ok
+
+    def test_deterministic_given_seed(self):
+        a = synthetic_case(n_buses=10, seed=5)
+        b = synthetic_case(n_buses=10, seed=5)
+        np.testing.assert_allclose(a.reactances(), b.reactances())
+        np.testing.assert_allclose(a.loads_mw(), b.loads_mw())
+
+    def test_different_seeds_differ(self):
+        a = synthetic_case(n_buses=10, seed=1)
+        b = synthetic_case(n_buses=10, seed=2)
+        assert not np.allclose(a.loads_mw(), b.loads_mw())
+
+    def test_dfacts_fraction_respected(self):
+        net = synthetic_case(n_buses=10, dfacts_fraction=0.0, seed=0)
+        assert net.dfacts_branches == ()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(Exception):
+            synthetic_case(n_buses=2)
+
+    def test_invalid_capacity_margin_rejected(self):
+        with pytest.raises(Exception):
+            synthetic_case(n_buses=6, capacity_margin=0.9)

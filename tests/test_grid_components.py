@@ -1,0 +1,97 @@
+"""Tests for repro.grid.components."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GridModelError
+from repro.grid.components import Branch, Bus, Generator
+
+
+class TestBus:
+    def test_valid_bus(self):
+        bus = Bus(index=0, load_mw=12.5, name="Bus 1", is_slack=True)
+        assert bus.load_mw == 12.5
+        assert bus.is_slack
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(GridModelError):
+            Bus(index=-1)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(GridModelError):
+            Bus(index=0, load_mw=-1.0)
+
+    def test_with_load_returns_new_bus(self):
+        bus = Bus(index=2, load_mw=10.0)
+        updated = bus.with_load(20.0)
+        assert updated.load_mw == 20.0
+        assert bus.load_mw == 10.0
+        assert updated.index == bus.index
+
+
+class TestBranch:
+    def test_valid_branch(self):
+        branch = Branch(index=0, from_bus=0, to_bus=1, reactance=0.1, rate_mw=50.0)
+        assert branch.susceptance == pytest.approx(10.0)
+        assert branch.endpoints() == (0, 1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GridModelError):
+            Branch(index=0, from_bus=1, to_bus=1, reactance=0.1)
+
+    def test_non_positive_reactance_rejected(self):
+        with pytest.raises(GridModelError):
+            Branch(index=0, from_bus=0, to_bus=1, reactance=0.0)
+
+    def test_non_positive_rate_rejected(self):
+        with pytest.raises(GridModelError):
+            Branch(index=0, from_bus=0, to_bus=1, reactance=0.1, rate_mw=0.0)
+
+    def test_dfacts_limits_default_to_nominal(self):
+        branch = Branch(index=0, from_bus=0, to_bus=1, reactance=0.2)
+        assert branch.reactance_min == pytest.approx(0.2)
+        assert branch.reactance_max == pytest.approx(0.2)
+
+    def test_with_dfacts_sets_range(self):
+        branch = Branch(index=0, from_bus=0, to_bus=1, reactance=0.2).with_dfacts(0.5, 1.5)
+        assert branch.has_dfacts
+        assert branch.reactance_min == pytest.approx(0.1)
+        assert branch.reactance_max == pytest.approx(0.3)
+
+    def test_invalid_dfacts_range_rejected(self):
+        with pytest.raises(GridModelError):
+            Branch(
+                index=0,
+                from_bus=0,
+                to_bus=1,
+                reactance=0.2,
+                has_dfacts=True,
+                dfacts_min_factor=1.2,
+                dfacts_max_factor=1.5,
+            )
+
+    def test_with_reactance_preserves_other_fields(self):
+        branch = Branch(index=3, from_bus=0, to_bus=1, reactance=0.2, rate_mw=40.0)
+        updated = branch.with_reactance(0.25)
+        assert updated.reactance == pytest.approx(0.25)
+        assert updated.rate_mw == pytest.approx(40.0)
+        assert updated.index == 3
+
+
+class TestGenerator:
+    def test_valid_generator(self):
+        gen = Generator(index=0, bus=1, p_max_mw=100.0, cost_per_mwh=25.0)
+        assert gen.cost_of(10.0) == pytest.approx(250.0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(GridModelError):
+            Generator(index=0, bus=0, p_max_mw=-5.0)
+
+    def test_p_min_above_p_max_rejected(self):
+        with pytest.raises(GridModelError):
+            Generator(index=0, bus=0, p_max_mw=10.0, p_min_mw=20.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(GridModelError):
+            Generator(index=0, bus=0, p_max_mw=10.0, cost_per_mwh=-1.0)

@@ -1,0 +1,97 @@
+"""Tests for repro.grid.io and repro.grid.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GridModelError
+from repro.grid.cases import case4gs, case14
+from repro.grid.io import (
+    SCHEMA_VERSION,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from repro.grid.validation import validate_for_operation
+
+
+class TestNetworkDictRoundTrip:
+    def test_round_trip_preserves_structure(self, net14):
+        rebuilt = network_from_dict(network_to_dict(net14))
+        assert rebuilt.n_buses == net14.n_buses
+        assert rebuilt.n_branches == net14.n_branches
+        assert rebuilt.n_generators == net14.n_generators
+        np.testing.assert_allclose(rebuilt.reactances(), net14.reactances())
+        np.testing.assert_allclose(rebuilt.loads_mw(), net14.loads_mw())
+        assert rebuilt.dfacts_branches == net14.dfacts_branches
+
+    def test_round_trip_preserves_flow_limits(self, net4):
+        rebuilt = network_from_dict(network_to_dict(net4))
+        np.testing.assert_allclose(rebuilt.flow_limits_mw(), net4.flow_limits_mw())
+
+    def test_infinite_rate_serialised_as_null(self):
+        net = case4gs().with_flow_limits([1e9, 1e9, 1e9, 1e9])
+        data = network_to_dict(net)
+        assert all(entry["rate_mw"] is not None for entry in data["branch"])
+
+    def test_schema_version_recorded(self, net4):
+        assert network_to_dict(net4)["schema_version"] == SCHEMA_VERSION
+
+    def test_unsupported_schema_rejected(self, net4):
+        data = network_to_dict(net4)
+        data["schema_version"] = 999
+        with pytest.raises(GridModelError):
+            network_from_dict(data)
+
+    def test_missing_field_rejected(self, net4):
+        data = network_to_dict(net4)
+        del data["gen"][0]["p_max_mw"]
+        with pytest.raises(GridModelError):
+            network_from_dict(data)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path, net14):
+        path = tmp_path / "ieee14.json"
+        save_network(net14, path)
+        loaded = load_network(path)
+        np.testing.assert_allclose(loaded.reactances(), net14.reactances())
+        assert loaded.name == net14.name
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(GridModelError):
+            load_network(path)
+
+
+class TestOperationalValidation:
+    def test_ieee_cases_pass(self, net4, net14, net30):
+        for net in (net4, net14, net30):
+            report = validate_for_operation(net)
+            assert report.ok, report.summary()
+
+    def test_insufficient_capacity_flagged(self, net14):
+        overloaded = net14.with_scaled_loads(10.0)
+        report = validate_for_operation(overloaded)
+        assert not report.ok
+        assert any("capacity" in err for err in report.errors)
+
+    def test_no_dfacts_warns(self):
+        net = case14(dfacts_branches=())
+        report = validate_for_operation(net)
+        assert report.ok
+        assert any("D-FACTS" in warning for warning in report.warnings)
+
+    def test_summary_contains_status(self, net14):
+        assert "passed" in validate_for_operation(net14).summary()
+
+    def test_tight_capacity_margin_warns(self):
+        # Scale loads so that capacity margin is below 5 % but still adequate.
+        net = case14()
+        capacity = net.total_generation_capacity_mw()
+        net = net.with_scaled_loads(0.97 * capacity / net.total_load_mw())
+        report = validate_for_operation(net)
+        assert any("margin" in warning for warning in report.warnings)

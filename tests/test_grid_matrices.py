@@ -1,0 +1,117 @@
+"""Tests for repro.grid.matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid.matrices import (
+    branch_flow_matrix,
+    branch_susceptance_matrix,
+    generator_incidence_matrix,
+    incidence_matrix,
+    measurement_matrix,
+    non_slack_indices,
+    reduced_measurement_matrix,
+    reduced_susceptance_matrix,
+    susceptance_matrix,
+)
+from repro.utils.linalg import is_full_column_rank
+
+
+class TestIncidence:
+    def test_shape(self, net14):
+        A = incidence_matrix(net14)
+        assert A.shape == (14, 20)
+
+    def test_column_sums_are_zero(self, net14):
+        A = incidence_matrix(net14)
+        np.testing.assert_allclose(A.sum(axis=0), np.zeros(20))
+
+    def test_entries_match_branch_orientation(self, net4):
+        A = incidence_matrix(net4)
+        branch = net4.branches[0]
+        assert A[branch.from_bus, 0] == 1.0
+        assert A[branch.to_bus, 0] == -1.0
+
+
+class TestSusceptance:
+    def test_diagonal_matrix_values(self, net4):
+        D = branch_susceptance_matrix(net4)
+        np.testing.assert_allclose(np.diag(D), 1.0 / net4.reactances())
+        assert np.count_nonzero(D - np.diag(np.diag(D))) == 0
+
+    def test_override_reactances(self, net4):
+        override = net4.reactances() * 2.0
+        D = branch_susceptance_matrix(net4, override)
+        np.testing.assert_allclose(np.diag(D), 1.0 / override)
+
+    def test_override_length_mismatch(self, net4):
+        with pytest.raises(ValueError):
+            branch_susceptance_matrix(net4, np.ones(3))
+
+    def test_non_positive_override_rejected(self, net4):
+        bad = net4.reactances()
+        bad[0] = 0.0
+        with pytest.raises(ValueError):
+            branch_susceptance_matrix(net4, bad)
+
+    def test_susceptance_matrix_is_symmetric_laplacian(self, net14):
+        B = susceptance_matrix(net14)
+        np.testing.assert_allclose(B, B.T, atol=1e-12)
+        np.testing.assert_allclose(B.sum(axis=1), np.zeros(14), atol=1e-9)
+
+    def test_reduced_susceptance_is_invertible(self, net14):
+        B_red = reduced_susceptance_matrix(net14)
+        assert B_red.shape == (13, 13)
+        assert np.linalg.matrix_rank(B_red) == 13
+
+
+class TestMeasurementMatrix:
+    def test_full_shape(self, net14):
+        H = measurement_matrix(net14)
+        assert H.shape == (2 * 20 + 14, 14)
+
+    def test_reduced_shape_and_rank(self, net14):
+        H = reduced_measurement_matrix(net14)
+        assert H.shape == (54, 13)
+        assert is_full_column_rank(H)
+
+    def test_structure_flow_blocks_are_negatives(self, net14):
+        H = measurement_matrix(net14)
+        L = net14.n_branches
+        np.testing.assert_allclose(H[:L], -H[L : 2 * L])
+
+    def test_injection_block_is_susceptance(self, net14):
+        H = measurement_matrix(net14)
+        L = net14.n_branches
+        np.testing.assert_allclose(H[2 * L :], susceptance_matrix(net14), atol=1e-12)
+
+    def test_reactance_override_changes_matrix(self, net14):
+        H0 = reduced_measurement_matrix(net14)
+        x = net14.reactances()
+        x[0] *= 1.5
+        H1 = reduced_measurement_matrix(net14, x)
+        assert not np.allclose(H0, H1)
+
+    def test_non_slack_indices_exclude_slack(self, net14):
+        keep = non_slack_indices(net14)
+        assert net14.slack_bus not in keep.tolist()
+        assert len(keep) == 13
+
+
+class TestOtherMatrices:
+    def test_generator_incidence(self, net14):
+        C = generator_incidence_matrix(net14)
+        assert C.shape == (14, 5)
+        np.testing.assert_allclose(C.sum(axis=0), np.ones(5))
+        for gen in net14.generators:
+            assert C[gen.bus, gen.index] == 1.0
+
+    def test_branch_flow_matrix_consistency(self, net4, rng):
+        theta = rng.standard_normal(4)
+        F = branch_flow_matrix(net4)
+        flows = F @ theta
+        for branch in net4.branches:
+            expected = (theta[branch.from_bus] - theta[branch.to_bus]) / branch.reactance
+            assert flows[branch.index] == pytest.approx(expected)

@@ -1,0 +1,183 @@
+"""Tests for the MTD effectiveness metric and the operational-cost metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mtd.cost import mtd_operational_cost
+from repro.mtd.design import design_mtd_perturbation
+from repro.mtd.effectiveness import EffectivenessEvaluator, EffectivenessResult
+from repro.opf.dc_opf import solve_dc_opf
+
+
+class TestEffectivenessResult:
+    def test_eta_counts_threshold_fraction(self):
+        result = EffectivenessResult(
+            detection_probabilities=np.array([0.1, 0.6, 0.95, 0.99]),
+            false_positive_rate=5e-4,
+            method="analytic",
+        )
+        assert result.eta(0.5) == pytest.approx(0.75)
+        assert result.eta(0.9) == pytest.approx(0.5)
+        assert result.eta(0.99) == pytest.approx(0.25)
+
+    def test_eta_curve_matches_pointwise(self):
+        result = EffectivenessResult(
+            detection_probabilities=np.array([0.2, 0.8]),
+            false_positive_rate=5e-4,
+            method="analytic",
+        )
+        np.testing.assert_allclose(
+            result.eta_curve([0.1, 0.5, 0.9]), [1.0, 0.5, 0.0]
+        )
+
+    def test_invalid_delta_rejected(self):
+        result = EffectivenessResult(
+            detection_probabilities=np.array([0.5]),
+            false_positive_rate=5e-4,
+            method="analytic",
+        )
+        with pytest.raises(ConfigurationError):
+            result.eta(1.5)
+
+    def test_undetectable_fraction(self):
+        result = EffectivenessResult(
+            detection_probabilities=np.array([5e-4, 0.9]),
+            false_positive_rate=5e-4,
+            method="analytic",
+        )
+        assert result.undetectable_fraction() == pytest.approx(0.5)
+
+    def test_summary_keys(self):
+        result = EffectivenessResult(
+            detection_probabilities=np.array([0.5, 0.7]),
+            false_positive_rate=5e-4,
+            method="analytic",
+        )
+        summary = result.summary()
+        assert summary["n_attacks"] == 2
+        assert 0.0 <= summary["eta(0.9)"] <= 1.0
+
+
+class TestEffectivenessEvaluator:
+    def test_identity_perturbation_is_ineffective(self, net14, evaluator14):
+        """Without a perturbation every attack keeps its FP-rate detection
+        probability (the pre-MTD vulnerability the paper starts from)."""
+        result = evaluator14.evaluate(net14.reactances())
+        assert result.eta(0.5) == pytest.approx(0.0)
+        assert result.undetectable_fraction() == pytest.approx(1.0)
+
+    def test_uniform_scaling_is_ineffective(self, net14, evaluator14):
+        """H' = (1+η)H leaves the column space unchanged (paper Fig. 4a)."""
+        result = evaluator14.evaluate(1.2 * net14.reactances())
+        assert result.eta(0.5) == pytest.approx(0.0)
+
+    def test_large_perturbation_is_effective(self, net14, evaluator14):
+        x = net14.reactances()
+        for index in net14.dfacts_branches:
+            x[index] *= 1.5
+        result = evaluator14.evaluate(x)
+        assert result.eta(0.5) > 0.5
+
+    def test_effectiveness_increases_with_subspace_angle(self, net14, evaluator14):
+        """The paper's central conjecture (Fig. 6): η'(δ) grows with γ."""
+        etas = []
+        for gamma in (0.05, 0.15, 0.25):
+            design = design_mtd_perturbation(
+                net14, gamma_threshold=gamma, method="two-stage", seed=0
+            )
+            etas.append(evaluator14.evaluate(design.perturbed_reactances).eta(0.5))
+        assert etas[0] <= etas[1] <= etas[2]
+        assert etas[2] > etas[0]
+
+    def test_monte_carlo_agrees_with_analytic(self, net14, opf14):
+        evaluator = EffectivenessEvaluator(
+            net14, operating_angles_rad=opf14.angles_rad, n_attacks=20, seed=3
+        )
+        x = net14.reactances()
+        for index in net14.dfacts_branches:
+            x[index] *= 0.6
+        analytic = evaluator.evaluate(x, method="analytic")
+        monte_carlo = evaluator.evaluate(x, method="monte-carlo", n_noise_trials=200, seed=5)
+        np.testing.assert_allclose(
+            analytic.detection_probabilities,
+            monte_carlo.detection_probabilities,
+            atol=0.12,
+        )
+
+    def test_unknown_method_rejected(self, net14, evaluator14):
+        with pytest.raises(ConfigurationError):
+            evaluator14.evaluate(net14.reactances(), method="bogus")
+
+    def test_wrong_angle_length_rejected(self, net14):
+        with pytest.raises(ConfigurationError):
+            EffectivenessEvaluator(net14, operating_angles_rad=np.zeros(3))
+
+    def test_evaluate_perturbation_wrapper(self, net14, evaluator14):
+        from repro.mtd.perturbation import ReactancePerturbation
+
+        perturbation = ReactancePerturbation.random(net14, 0.4, seed=1)
+        direct = evaluator14.evaluate(perturbation.perturbed_reactances)
+        wrapped = evaluator14.evaluate_perturbation(perturbation)
+        np.testing.assert_allclose(
+            direct.detection_probabilities, wrapped.detection_probabilities
+        )
+
+
+class TestOperationalCost:
+    def test_identity_perturbation_costs_nothing(self, net14):
+        breakdown = mtd_operational_cost(net14, net14.reactances())
+        assert breakdown.relative_increase == pytest.approx(0.0, abs=1e-9)
+        assert breakdown.percent_increase == pytest.approx(0.0, abs=1e-7)
+
+    def test_cost_non_negative(self, net14):
+        x = net14.reactances()
+        for index in net14.dfacts_branches:
+            x[index] *= 1.5
+        breakdown = mtd_operational_cost(net14, x)
+        assert breakdown.relative_increase >= 0.0
+        assert breakdown.mtd_cost >= 0.0
+
+    def test_reactance_opf_baseline_never_above_dispatch_only(self, net14):
+        x = net14.reactances()
+        for index in net14.dfacts_branches:
+            x[index] *= 1.4
+        dispatch_only = mtd_operational_cost(net14, x, baseline="dispatch-only")
+        reactance_opf = mtd_operational_cost(net14, x, baseline="reactance-opf")
+        assert reactance_opf.baseline_cost <= dispatch_only.baseline_cost + 1e-3
+        assert reactance_opf.relative_increase >= dispatch_only.relative_increase - 1e-9
+
+    def test_precomputed_baseline_reused(self, net14):
+        baseline = solve_dc_opf(net14)
+        breakdown = mtd_operational_cost(
+            net14, net14.reactances(), baseline_result=baseline
+        )
+        assert breakdown.baseline is baseline
+        assert breakdown.baseline_cost == pytest.approx(baseline.cost)
+
+    def test_unknown_baseline_rejected(self, net14):
+        with pytest.raises(ConfigurationError):
+            mtd_operational_cost(net14, net14.reactances(), baseline="bogus")
+
+    def test_absolute_increase_consistent(self, net14):
+        x = net14.reactances()
+        for index in net14.dfacts_branches:
+            x[index] *= 0.6
+        breakdown = mtd_operational_cost(net14, x)
+        assert breakdown.absolute_increase == pytest.approx(
+            breakdown.mtd_cost - breakdown.baseline_cost
+        )
+
+    def test_congested_system_shows_positive_premium(self, net14):
+        """At the 6 PM-like load the best MTD perturbation that maximises the
+        subspace angle is not free when priced against the eq-(1) baseline."""
+        from repro.mtd.design import max_spa_perturbation
+
+        loads = net14.loads_mw() * (220.0 / net14.total_load_mw())
+        design = max_spa_perturbation(net14, loads_mw=loads, seed=0)
+        breakdown = mtd_operational_cost(
+            net14, design.perturbed_reactances, loads_mw=loads, baseline="reactance-opf"
+        )
+        assert breakdown.relative_increase > 0.0

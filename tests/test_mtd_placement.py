@@ -1,0 +1,112 @@
+"""Tests for the D-FACTS placement extension (repro.mtd.placement)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MTDDesignError
+from repro.grid.cases import case14, synthetic_case
+from repro.mtd.placement import (
+    greedy_placement,
+    placement_report,
+    stealthy_dimension,
+)
+
+
+class TestStealthyDimension:
+    def test_no_devices_leaves_everything_stealthy(self, net14):
+        assert stealthy_dimension(net14, ()) == net14.n_buses - 1
+
+    def test_paper_placement_matches_contraction_bound(self, net14):
+        """Six D-FACTS edges that contract 14 buses into 8 components leave
+        7 stealthy directions — the value the ablation benchmark measures."""
+        assert stealthy_dimension(net14) == 7
+
+    def test_full_coverage_hits_counting_bound(self, net14):
+        all_branches = tuple(range(net14.n_branches))
+        expected = 2 * (net14.n_buses - 1) - net14.n_branches
+        assert stealthy_dimension(net14, all_branches) == expected
+
+    def test_monotone_in_coverage(self, net14):
+        placements = [(0,), (0, 4), (0, 4, 8), tuple(range(10)), tuple(range(20))]
+        dimensions = [stealthy_dimension(net14, p) for p in placements]
+        assert all(a >= b for a, b in zip(dimensions, dimensions[1:]))
+
+    def test_unknown_branch_rejected(self, net14):
+        with pytest.raises(MTDDesignError):
+            stealthy_dimension(net14, (99,))
+
+    def test_matches_measured_overlap(self, net14):
+        """The structural prediction agrees with the measured dimension of
+        Col(H) ∩ Col(H') for an extreme perturbation of the placed lines."""
+        from repro.grid.matrices import reduced_measurement_matrix
+        from repro.mtd.conditions import undetectable_attack_subspace
+
+        branches = net14.dfacts_branches
+        x = net14.reactances()
+        for position, index in enumerate(branches):
+            x[index] *= 1.5 if position % 2 == 0 else 0.5
+        overlap = undetectable_attack_subspace(
+            reduced_measurement_matrix(net14), reduced_measurement_matrix(net14, x)
+        ).shape[1]
+        assert overlap == stealthy_dimension(net14, branches)
+
+
+class TestPlacementReport:
+    def test_report_fields(self, net14):
+        report = placement_report(net14)
+        assert report.branches == net14.dfacts_branches
+        assert report.stealthy_dimension == 7
+        assert report.stealthy_fraction == pytest.approx(7 / 13)
+        assert report.achievable_angle > 0.0
+        assert not report.covers_spanning_tree
+
+    def test_spanning_tree_coverage_detected(self, net14):
+        report = placement_report(net14, tuple(range(net14.n_branches)))
+        assert report.covers_spanning_tree
+
+    def test_empty_placement(self, net14):
+        report = placement_report(net14, ())
+        assert report.achievable_angle == pytest.approx(0.0)
+        assert report.stealthy_dimension == 13
+
+
+class TestGreedyPlacement:
+    def test_selects_requested_number(self, net14):
+        selection = greedy_placement(net14, 5)
+        assert len(selection) == 5
+        assert len(set(selection)) == 5
+
+    def test_greedy_beats_paper_placement_on_stealthy_dimension(self, net14):
+        """Placing the same number of devices greedily never leaves more
+        stealthy directions than the paper's fixed placement."""
+        greedy = greedy_placement(net14, 6)
+        assert stealthy_dimension(net14, greedy) <= stealthy_dimension(net14)
+
+    def test_thirteen_devices_can_cover_the_grid(self, net14):
+        """A spanning placement (N−1 devices) drives the contraction bound to
+        zero, leaving only the counting bound."""
+        greedy = greedy_placement(net14, 13)
+        assert stealthy_dimension(net14, greedy) == max(0, 2 * 13 - 20)
+
+    def test_candidate_restriction_respected(self, net14):
+        candidates = (0, 1, 2, 3)
+        selection = greedy_placement(net14, 3, candidate_branches=candidates)
+        assert set(selection).issubset(set(candidates))
+
+    def test_invalid_requests_rejected(self, net14):
+        with pytest.raises(MTDDesignError):
+            greedy_placement(net14, 0)
+        with pytest.raises(MTDDesignError):
+            greedy_placement(net14, 99)
+        with pytest.raises(MTDDesignError):
+            greedy_placement(net14, 3, candidate_branches=(0, 1))
+        with pytest.raises(MTDDesignError):
+            greedy_placement(net14, 1, candidate_branches=(123,))
+
+    def test_works_on_synthetic_networks(self):
+        net = synthetic_case(n_buses=10, seed=3)
+        selection = greedy_placement(net, 4)
+        assert len(selection) == 4
+        assert stealthy_dimension(net, selection) <= net.n_buses - 1

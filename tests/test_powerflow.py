@@ -1,0 +1,128 @@
+"""Tests for repro.powerflow (DC power flow and PTDF)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PowerFlowError
+from repro.powerflow.dc import flows_from_angles, solve_dc_power_flow
+from repro.powerflow.ptdf import (
+    flows_from_injections,
+    generation_shift_factors,
+    ptdf_matrix,
+)
+
+
+class TestDCPowerFlow:
+    def test_paper_table_ii_flows(self, net4):
+        """The 4-bus case with dispatch (350, 150) reproduces Table II flows."""
+        generation = np.array([350.0, 150.0])
+        result = solve_dc_power_flow(net4, generation_mw=generation)
+        np.testing.assert_allclose(
+            result.flows_mw, [126.56, 173.44, -43.44, -26.56], atol=0.01
+        )
+
+    def test_slack_angle_is_zero(self, net14):
+        result = solve_dc_power_flow(net14, generation_mw=np.zeros(5))
+        assert result.angles_rad[net14.slack_bus] == pytest.approx(0.0)
+
+    def test_nodal_balance_holds(self, net14, rng):
+        generation = rng.uniform(0, 50, size=net14.n_generators)
+        result = solve_dc_power_flow(net14, generation_mw=generation)
+        # At every non-slack bus, injection equals net outgoing flow.
+        for bus in range(net14.n_buses):
+            if bus == net14.slack_bus:
+                continue
+            outgoing = sum(
+                result.flows_mw[br.index] for br in net14.branches if br.from_bus == bus
+            )
+            incoming = sum(
+                result.flows_mw[br.index] for br in net14.branches if br.to_bus == bus
+            )
+            assert outgoing - incoming == pytest.approx(result.injections_mw[bus], abs=1e-6)
+
+    def test_imbalance_absorbed_at_slack(self, net14):
+        # Zero generation: the slack bus must supply the full load.
+        result = solve_dc_power_flow(net14, generation_mw=np.zeros(5))
+        assert result.slack_injection_mw == pytest.approx(net14.total_load_mw())
+
+    def test_imbalance_rejected_when_disabled(self, net14):
+        with pytest.raises(PowerFlowError):
+            solve_dc_power_flow(
+                net14, generation_mw=np.zeros(5), balance_at_slack=False
+            )
+
+    def test_balanced_injections_accepted_when_strict(self, net4):
+        injections = np.array([100.0, -40.0, -60.0, 0.0])
+        result = solve_dc_power_flow(net4, injections_mw=injections, balance_at_slack=False)
+        assert np.isfinite(result.flows_mw).all()
+
+    def test_both_inputs_rejected(self, net4):
+        with pytest.raises(PowerFlowError):
+            solve_dc_power_flow(
+                net4, injections_mw=np.zeros(4), generation_mw=np.zeros(2)
+            )
+
+    def test_wrong_injection_length_rejected(self, net4):
+        with pytest.raises(PowerFlowError):
+            solve_dc_power_flow(net4, injections_mw=np.zeros(3))
+
+    def test_wrong_generation_length_rejected(self, net4):
+        with pytest.raises(PowerFlowError):
+            solve_dc_power_flow(net4, generation_mw=np.zeros(5))
+
+    def test_reactance_override_changes_flows(self, net4):
+        generation = np.array([350.0, 150.0])
+        nominal = solve_dc_power_flow(net4, generation_mw=generation)
+        perturbed_x = net4.reactances()
+        perturbed_x[0] *= 1.2
+        perturbed = solve_dc_power_flow(net4, generation_mw=generation, reactances=perturbed_x)
+        assert not np.allclose(nominal.flows_mw, perturbed.flows_mw)
+
+    def test_flows_from_angles_roundtrip(self, net14, rng):
+        generation = rng.uniform(0, 40, size=5)
+        result = solve_dc_power_flow(net14, generation_mw=generation)
+        np.testing.assert_allclose(
+            flows_from_angles(net14, result.angles_rad), result.flows_mw, atol=1e-9
+        )
+
+    def test_flows_from_angles_wrong_length(self, net14):
+        with pytest.raises(PowerFlowError):
+            flows_from_angles(net14, np.zeros(5))
+
+    def test_max_loading_and_overloads(self, net4):
+        generation = np.array([350.0, 150.0])
+        result = solve_dc_power_flow(net4, generation_mw=generation)
+        limits = net4.flow_limits_mw()
+        assert result.max_loading(limits) <= 1.0 + 1e-9
+        assert result.overloaded_branches(limits) == []
+        tight_limits = np.full(4, 10.0)
+        assert len(result.overloaded_branches(tight_limits)) == 4
+
+
+class TestPTDF:
+    def test_shape_and_slack_column(self, net14):
+        ptdf = ptdf_matrix(net14)
+        assert ptdf.shape == (20, 14)
+        np.testing.assert_allclose(ptdf[:, net14.slack_bus], np.zeros(20))
+
+    def test_consistency_with_power_flow(self, net14, rng):
+        """PTDF route and direct solve must agree on branch flows."""
+        generation = rng.uniform(0, 40, size=5)
+        direct = solve_dc_power_flow(net14, generation_mw=generation)
+        via_ptdf = flows_from_injections(net14, direct.injections_mw)
+        np.testing.assert_allclose(via_ptdf, direct.flows_mw, atol=1e-8)
+
+    def test_shift_factors_sum_consistency(self, net14):
+        factors = generation_shift_factors(net14, from_bus=1, to_bus=5)
+        ptdf = ptdf_matrix(net14)
+        np.testing.assert_allclose(factors, ptdf[:, 1] - ptdf[:, 5], atol=1e-12)
+
+    def test_shift_factor_unknown_bus_rejected(self, net14):
+        with pytest.raises(PowerFlowError):
+            generation_shift_factors(net14, from_bus=99, to_bus=0)
+
+    def test_injection_length_check(self, net14):
+        with pytest.raises(PowerFlowError):
+            flows_from_injections(net14, np.zeros(3))

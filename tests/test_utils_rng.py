@@ -1,0 +1,95 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    as_generator,
+    permuted_indices,
+    random_signs,
+    random_unit_vector,
+    spawn_generators,
+)
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1_000_000, size=5)
+        b = as_generator(42).integers(0, 1_000_000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1_000_000, size=10)
+        b = as_generator(2).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count_matches(self):
+        children = spawn_generators(0, 5)
+        assert len(children) == 5
+
+    def test_children_are_independent_streams(self):
+        children = spawn_generators(0, 2)
+        a = children[0].standard_normal(20)
+        b = children[1].standard_normal(20)
+        assert not np.allclose(a, b)
+
+    def test_deterministic_given_seed(self):
+        a = spawn_generators(3, 3)[1].standard_normal(5)
+        b = spawn_generators(3, 3)[1].standard_normal(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_generator_seed_supported(self):
+        children = spawn_generators(np.random.default_rng(5), 2)
+        assert len(children) == 2
+
+
+class TestRandomHelpers:
+    def test_unit_vector_has_unit_norm(self, rng):
+        vec = random_unit_vector(17, rng)
+        assert vec.shape == (17,)
+        assert np.isclose(np.linalg.norm(vec), 1.0)
+
+    def test_unit_vector_rejects_bad_dimension(self, rng):
+        with pytest.raises(ValueError):
+            random_unit_vector(0, rng)
+
+    def test_random_signs_are_plus_minus_one(self, rng):
+        signs = random_signs(50, rng)
+        assert set(np.unique(signs)).issubset({-1.0, 1.0})
+
+    def test_random_signs_rejects_negative_count(self, rng):
+        with pytest.raises(ValueError):
+            random_signs(-2, rng)
+
+    def test_permuted_indices_full(self, rng):
+        perm = permuted_indices(10, rng)
+        assert sorted(perm.tolist()) == list(range(10))
+
+    def test_permuted_indices_truncated(self, rng):
+        perm = permuted_indices(10, rng, take=4)
+        assert len(perm) == 4
+        assert len(set(perm.tolist())) == 4
+
+    def test_permuted_indices_invalid_take(self, rng):
+        with pytest.raises(ValueError):
+            permuted_indices(5, rng, take=9)
