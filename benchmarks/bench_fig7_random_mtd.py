@@ -5,14 +5,17 @@ paper compares against, constrained to within 2 % of the operating values)
 are evaluated against the shared attack ensemble.  The figure's message is
 the high variability across trials: random perturbations cannot guarantee a
 level of attack detection.
+
+The trials are driven through the scenario engine: each benchmark run is a
+declarative :class:`~repro.engine.spec.ScenarioSpec` whose trials draw one
+random perturbation each from seed-spawned streams, against the ensemble
+pinned by ``AttackSpec.seed``.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.reporting import format_table
-from repro.mtd.random_mtd import RandomMTDBaseline
+from repro.engine import AttackSpec, GridSpec, MTDSpec, ScenarioEngine, ScenarioSpec
 
 from _bench_utils import print_banner
 
@@ -20,23 +23,35 @@ from _bench_utils import print_banner
 DELTA_GRID = (0.1, 0.2, 0.4, 0.6, 0.8, 0.9)
 
 
-def evaluate_random_trials(network, evaluator, n_trials, max_relative_change=0.02):
-    """η'(δ) of each random trial over the δ grid."""
-    baseline = RandomMTDBaseline(
-        network, evaluator, max_relative_change=max_relative_change
+def random_mtd_spec(n_trials, n_attacks, max_relative_change=0.02):
+    """The Fig. 7 experiment as a scenario spec."""
+    return ScenarioSpec(
+        name=f"fig7-random-mtd-{max_relative_change:g}",
+        grid=GridSpec(case="ieee14", baseline="reactance-opf"),
+        attack=AttackSpec(n_attacks=n_attacks, seed=1),
+        mtd=MTDSpec(policy="random", max_relative_change=max_relative_change),
+        n_trials=n_trials,
+        base_seed=5,
+        deltas=DELTA_GRID,
+        metric="eta(0.9)",
     )
-    keyspace = baseline.sample_keyspace(n_trials, seed=5)
+
+
+def evaluate_random_trials(engine, n_trials, n_attacks, max_relative_change=0.02):
+    """η'(δ) of each random trial over the δ grid."""
+    result = engine.run(random_mtd_spec(n_trials, n_attacks, max_relative_change))
     return [
-        {delta: sample.effectiveness.eta(delta) for delta in DELTA_GRID}
-        for sample in keyspace.samples
+        {delta: trial.metrics[f"eta({delta:g})"] for delta in DELTA_GRID}
+        for trial in result.trials
     ]
 
 
-def bench_fig7_random_mtd(benchmark, net14, evaluator14, scale):
+def bench_fig7_random_mtd(benchmark, scale):
     """Regenerate the Fig. 7 trials and time their evaluation."""
+    engine = ScenarioEngine()
     trials = benchmark.pedantic(
         evaluate_random_trials,
-        args=(net14, evaluator14, scale.n_random_trials),
+        args=(engine, scale.n_random_trials, scale.n_attacks),
         rounds=1,
         iterations=1,
     )
@@ -44,7 +59,7 @@ def bench_fig7_random_mtd(benchmark, net14, evaluator14, scale):
     # range (±50 %), which exhibit the trial-to-trial variability Fig. 7
     # emphasises even though individual trials can be moderately effective.
     wide_trials = evaluate_random_trials(
-        net14, evaluator14, scale.n_random_trials, max_relative_change=0.5
+        engine, scale.n_random_trials, scale.n_attacks, max_relative_change=0.5
     )
 
     print_banner(

@@ -5,14 +5,17 @@ values, as in the prior work's formulation) is sampled and, for every
 confidence level δ, the fraction of perturbations achieving η'(δ) ≥ 0.9 is
 reported.  The paper finds that fewer than 10 % of the random perturbations
 satisfy η'(0.9) ≥ 0.9, which motivates the formal design criterion.
+
+The keyspace is sampled through the scenario engine: one trial per random
+key, all judged against the ensemble pinned by ``AttackSpec.seed``, so the
+whole benchmark is a single declarative spec (and parallelises/caches for
+free when run through an engine configured to do so).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.reporting import format_table
-from repro.mtd.random_mtd import RandomMTDBaseline
+from repro.engine import AttackSpec, GridSpec, MTDSpec, ScenarioEngine, ScenarioSpec
 
 from _bench_utils import print_banner
 
@@ -20,21 +23,36 @@ DELTA_GRID = (0.1, 0.3, 0.5, 0.7, 0.9)
 ETA_TARGET = 0.9
 
 
-def sample_keyspace_fractions(network, evaluator, n_samples):
-    """(delta → fraction of keyspace with η'(δ) ≥ 0.9) plus the raw keyspace."""
-    baseline = RandomMTDBaseline(network, evaluator, max_relative_change=0.02)
-    keyspace = baseline.sample_keyspace(n_samples, seed=8)
+def keyspace_spec(n_samples, n_attacks):
+    """The Fig. 8 experiment as a scenario spec."""
+    return ScenarioSpec(
+        name="fig8-keyspace",
+        grid=GridSpec(case="ieee14", baseline="reactance-opf"),
+        attack=AttackSpec(n_attacks=n_attacks, seed=1),
+        mtd=MTDSpec(policy="random", max_relative_change=0.02),
+        n_trials=n_samples,
+        base_seed=8,
+        deltas=DELTA_GRID,
+        metric="eta(0.9)",
+    )
+
+
+def sample_keyspace_fractions(engine, n_samples, n_attacks):
+    """(delta → fraction of keyspace with η'(δ) ≥ 0.9) plus the raw result."""
+    result = engine.run(keyspace_spec(n_samples, n_attacks))
     fractions = {
-        delta: keyspace.fraction_meeting(delta, ETA_TARGET) for delta in DELTA_GRID
+        delta: result.fraction_meeting(f"eta({delta:g})", ETA_TARGET)
+        for delta in DELTA_GRID
     }
-    return fractions, keyspace
+    return fractions, result
 
 
-def bench_fig8_keyspace(benchmark, net14, evaluator14, scale):
+def bench_fig8_keyspace(benchmark, scale):
     """Regenerate the Fig. 8 curve and time the keyspace evaluation."""
-    fractions, keyspace = benchmark.pedantic(
+    engine = ScenarioEngine()
+    fractions, result = benchmark.pedantic(
         sample_keyspace_fractions,
-        args=(net14, evaluator14, scale.n_keyspace),
+        args=(engine, scale.n_keyspace, scale.n_attacks),
         rounds=1,
         iterations=1,
     )
@@ -49,9 +67,10 @@ def bench_fig8_keyspace(benchmark, net14, evaluator14, scale):
             [[delta, round(fractions[delta], 3)] for delta in DELTA_GRID],
         )
     )
-    spas = keyspace.spa_values()
+    spas = result.summarize("spa")
     print(f"Subspace angles achieved by the random keyspace: "
-          f"median {np.median(spas):.4f} rad, max {spas.max():.4f} rad.")
+          f"median {spas.median:.4f} rad, p95 {spas.percentile(95):.4f} rad, "
+          f"max {spas.values.max():.4f} rad.")
     print("Paper shape: the fraction decreases with delta and is below 10% at "
           "delta = 0.9.")
 

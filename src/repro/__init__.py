@@ -75,8 +75,25 @@ from repro.mtd import (
     subspace_angle,
 )
 from repro.loads import nyiso_like_winter_day
+from repro.analysis.montecarlo import MonteCarloSummary, repeat_experiment, summarize_values
+from repro.engine import (
+    AttackSpec,
+    DetectorSpec,
+    GridSpec,
+    MTDSpec,
+    ResultCache,
+    ScenarioEngine,
+    ScenarioResult,
+    ScenarioSpec,
+    TrialResult,
+    available_scenarios,
+    expand_grid,
+    paper_scenarios,
+    run_scenario,
+    scenario_suite,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # exceptions
@@ -137,5 +154,24 @@ __all__ = [
     "compute_tradeoff_curve",
     "DailyMTDScheduler",
     "nyiso_like_winter_day",
+    # analysis
+    "MonteCarloSummary",
+    "repeat_experiment",
+    "summarize_values",
+    # scenario engine
+    "ScenarioSpec",
+    "GridSpec",
+    "AttackSpec",
+    "DetectorSpec",
+    "MTDSpec",
+    "expand_grid",
+    "ScenarioEngine",
+    "run_scenario",
+    "ResultCache",
+    "ScenarioResult",
+    "TrialResult",
+    "available_scenarios",
+    "scenario_suite",
+    "paper_scenarios",
     "__version__",
 ]

@@ -40,9 +40,42 @@ class MonteCarloSummary:
     def n_trials(self) -> int:
         return int(self.values.size)
 
+    @property
+    def median(self) -> float:
+        """Sample median of the per-trial outcomes."""
+        return float(np.median(self.values)) if self.values.size else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (``q`` in [0, 100]) of the outcomes."""
+        if not (0.0 <= q <= 100.0):
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if self.values.size == 0:
+            return 0.0
+        return float(np.percentile(self.values, q))
+
     def confidence_interval(self) -> tuple[float, float]:
         """95 % confidence interval on the mean."""
         return (self.mean - self.confidence_halfwidth, self.mean + self.confidence_halfwidth)
+
+
+def summarize_values(values: np.ndarray | list[float]) -> MonteCarloSummary:
+    """Summarise an existing array of per-trial outcomes.
+
+    Shared by :func:`repeat_experiment` and the scenario engine, which runs
+    trials itself (possibly in parallel) and only needs the aggregation.
+    """
+    array = np.asarray(values, dtype=float).ravel()
+    if array.size == 0:
+        raise ValueError("cannot summarise an empty set of trial values")
+    n = int(array.size)
+    std = float(np.std(array, ddof=1)) if n > 1 else 0.0
+    halfwidth = 1.96 * std / np.sqrt(n) if n > 1 else 0.0
+    return MonteCarloSummary(
+        values=array,
+        mean=float(np.mean(array)),
+        std=std,
+        confidence_halfwidth=float(halfwidth),
+    )
 
 
 def repeat_experiment(
@@ -65,14 +98,7 @@ def repeat_experiment(
         raise ValueError(f"n_trials must be positive, got {n_trials}")
     generators = spawn_generators(seed, n_trials)
     values = np.array([float(experiment(rng)) for rng in generators])
-    std = float(np.std(values, ddof=1)) if n_trials > 1 else 0.0
-    halfwidth = 1.96 * std / np.sqrt(n_trials) if n_trials > 1 else 0.0
-    return MonteCarloSummary(
-        values=values,
-        mean=float(np.mean(values)),
-        std=std,
-        confidence_halfwidth=float(halfwidth),
-    )
+    return summarize_values(values)
 
 
-__all__ = ["MonteCarloSummary", "repeat_experiment"]
+__all__ = ["MonteCarloSummary", "repeat_experiment", "summarize_values"]

@@ -7,7 +7,10 @@ in a terminal (no plotting dependencies are used anywhere in the library).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (analysis → analysis)
+    from repro.analysis.montecarlo import MonteCarloSummary
 
 
 def format_table(
@@ -54,6 +57,31 @@ def format_series(
     return format_table([x_label, y_label], rows, title=name, float_format=float_format)
 
 
+def format_summaries(
+    entries: Iterable[tuple[str, "MonteCarloSummary"]],
+    title: str | None = None,
+    percentiles: Sequence[float] = (5.0, 95.0),
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render labelled :class:`MonteCarloSummary` rows as one table.
+
+    Each row reports the trial count, mean, standard deviation, 95 %
+    confidence half-width, median and the requested percentiles — the
+    statistics the benchmarks previously recomputed ad hoc.
+    """
+    headers = ["scenario", "n", "mean", "std", "ci95±", "median"] + [
+        f"p{p:g}" for p in percentiles
+    ]
+    rows = []
+    for label, summary in entries:
+        rows.append(
+            [label, summary.n_trials, summary.mean, summary.std,
+             summary.confidence_halfwidth, summary.median]
+            + [summary.percentile(p) for p in percentiles]
+        )
+    return format_table(headers, rows, title=title, float_format=float_format)
+
+
 def _render(cell: object, float_format: str) -> str:
     if isinstance(cell, bool):
         return "yes" if cell else "no"
@@ -62,4 +90,4 @@ def _render(cell: object, float_format: str) -> str:
     return str(cell)
 
 
-__all__ = ["format_table", "format_series"]
+__all__ = ["format_table", "format_series", "format_summaries"]

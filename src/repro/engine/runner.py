@@ -1,0 +1,158 @@
+"""The scenario engine: expand specs into trials and execute them.
+
+:class:`ScenarioEngine` is the single entry point the benchmarks, examples
+and tests drive Monte-Carlo experiments through.  It expands a
+:class:`~repro.engine.spec.ScenarioSpec` (or a suite/sweep of them) into
+independent trials and executes them either serially or on a
+``concurrent.futures`` process pool.  Because every trial seeds itself from
+``(base_seed, trial_index)`` (see :mod:`repro.engine.trial`), the parallel
+results are bit-identical to the serial ones — parallelism is purely a
+throughput knob.
+
+With a :class:`~repro.engine.cache.ResultCache` attached, completed
+scenarios are persisted by content hash and replayed for free on the next
+run; re-running a whole suite after an interruption only executes the
+missing scenarios.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from itertools import repeat
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.engine.cache import ResultCache
+from repro.engine.results import ScenarioResult
+from repro.engine.spec import ScenarioSpec, expand_grid
+from repro.engine.trial import run_trial
+from repro.exceptions import ConfigurationError
+
+
+class ScenarioEngine:
+    """Executes scenario specifications.
+
+    Parameters
+    ----------
+    cache:
+        ``None`` (no caching), an existing :class:`ResultCache`, or a
+        directory path to create one in.
+    n_workers:
+        Default worker count for :meth:`run`; 1 means serial in-process
+        execution, larger values use a process pool.
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache | str | Path | None = None,
+        n_workers: int = 1,
+    ) -> None:
+        if cache is None or isinstance(cache, ResultCache):
+            self._cache = cache
+        else:
+            self._cache = ResultCache(cache)
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be at least 1, got {n_workers}")
+        self._n_workers = int(n_workers)
+        self.executed_trials = 0
+
+    @property
+    def cache(self) -> ResultCache | None:
+        return self._cache
+
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        spec: ScenarioSpec,
+        n_workers: int | None = None,
+        use_cache: bool = True,
+    ) -> ScenarioResult:
+        """Run one scenario (or replay it from the cache).
+
+        Parameters
+        ----------
+        spec:
+            The scenario to execute.
+        n_workers:
+            Override of the engine's default worker count for this run.
+        use_cache:
+            Set to ``False`` to force re-execution even on a cache hit (the
+            fresh result still overwrites the cache entry).
+        """
+        if use_cache and self._cache is not None:
+            hit = self._cache.get(spec)
+            if hit is not None:
+                return hit
+
+        workers = self._n_workers if n_workers is None else int(n_workers)
+        if workers < 1:
+            raise ConfigurationError(f"n_workers must be at least 1, got {workers}")
+        workers = min(workers, spec.n_trials)
+
+        start = time.perf_counter()
+        if workers <= 1:
+            trials = [run_trial(spec, index) for index in range(spec.n_trials)]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                trials = list(pool.map(run_trial, repeat(spec), range(spec.n_trials)))
+        elapsed = time.perf_counter() - start
+        self.executed_trials += spec.n_trials
+
+        result = ScenarioResult(
+            spec=spec,
+            trials=tuple(trials),
+            elapsed_seconds=elapsed,
+            n_workers=workers,
+        )
+        if self._cache is not None:
+            self._cache.put(spec, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def run_suite(
+        self,
+        specs: Iterable[ScenarioSpec],
+        n_workers: int | None = None,
+        use_cache: bool = True,
+    ) -> list[ScenarioResult]:
+        """Run several scenarios in order; each is independently cached.
+
+        Scenario *trials* are parallelised; scenarios themselves run one
+        after another so that a suite's memory high-water mark stays at one
+        scenario's working set.
+        """
+        return [self.run(spec, n_workers=n_workers, use_cache=use_cache) for spec in specs]
+
+    def run_sweep(
+        self,
+        base: ScenarioSpec,
+        grid: Mapping[str, Sequence[Any]],
+        n_workers: int | None = None,
+        use_cache: bool = True,
+        name_format: str | None = None,
+    ) -> list[ScenarioResult]:
+        """Expand ``base`` over a parameter grid and run every point.
+
+        ``grid`` maps dotted spec paths to value sequences, e.g.
+        ``{"mtd.gamma_threshold": (0.1, 0.2, 0.3), "grid.case": ("ieee14",
+        "ieee30")}``; the cartesian product is executed in row-major order.
+        """
+        specs = expand_grid(base, grid, name_format=name_format)
+        return self.run_suite(specs, n_workers=n_workers, use_cache=use_cache)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    n_workers: int = 1,
+    cache: ResultCache | str | Path | None = None,
+) -> ScenarioResult:
+    """One-shot convenience wrapper around :class:`ScenarioEngine`."""
+    return ScenarioEngine(cache=cache, n_workers=n_workers).run(spec)
+
+
+__all__ = ["ScenarioEngine", "run_scenario"]

@@ -1,0 +1,402 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` names everything a Monte-Carlo experiment of the
+paper depends on — grid case, operating baseline, attack model, MTD policy,
+detector configuration and trial budget — as a frozen, hashable value
+object.  Specs round-trip losslessly through ``dict``/JSON, and expose a
+stable content hash (:meth:`ScenarioSpec.content_hash`) that identifies the
+*result* of running them: two specs with the same hash produce bit-identical
+trial outcomes, which is what the on-disk cache keys on.
+
+Labelling fields (``name``, ``description``, ``tags``) are excluded from the
+hash so that renaming a scenario does not invalidate cached results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
+from typing import Any, Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+
+#: Bumped whenever the trial semantics change in a way that invalidates
+#: previously cached results (the version participates in the content hash).
+SPEC_SCHEMA_VERSION = 1
+
+#: Spec fields that label a scenario without affecting its outcome.
+_LABEL_FIELDS = ("name", "description", "tags")
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert lists to tuples so spec fields stay hashable."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _freeze(v)) for k, v in value.items()))
+    return value
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Which network a scenario runs on and how it is dispatched.
+
+    Attributes
+    ----------
+    case:
+        Name in the case registry (:func:`repro.grid.cases.load_case`),
+        e.g. ``"ieee14"`` or ``"synthetic57"``.
+    case_kwargs:
+        Extra keyword arguments for the case factory, stored as a sorted
+        tuple of ``(key, value)`` pairs so the spec stays hashable.
+    load_scale:
+        Multiplier applied to every nominal bus load (1.0 = nominal); used
+        by the daily-operation scenarios to sweep the load profile.
+    baseline:
+        Operating-point solver: ``"dc-opf"`` (dispatch-only OPF) or
+        ``"reactance-opf"`` (joint dispatch + D-FACTS OPF of paper eq. (1)).
+    """
+
+    case: str = "ieee14"
+    case_kwargs: tuple[tuple[str, Any], ...] = ()
+    load_scale: float = 1.0
+    baseline: str = "dc-opf"
+
+    def __post_init__(self) -> None:
+        if self.baseline not in ("dc-opf", "reactance-opf"):
+            raise ConfigurationError(
+                f"baseline must be 'dc-opf' or 'reactance-opf', got {self.baseline!r}"
+            )
+        if self.load_scale <= 0:
+            raise ConfigurationError(f"load_scale must be positive, got {self.load_scale}")
+        object.__setattr__(self, "case_kwargs", _freeze(self.case_kwargs))
+
+    def kwargs(self) -> dict[str, Any]:
+        """The case factory keyword arguments as a plain dict."""
+        return {k: v for k, v in self.case_kwargs}
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """The attacker model: a random stealthy-FDI ensemble.
+
+    Attributes
+    ----------
+    n_attacks:
+        Ensemble size (the paper uses 1000).
+    ratio:
+        Attack magnitude ``‖a‖₁/‖z‖₁`` (the paper uses ≈0.08).
+    seed:
+        Ensemble seed.  An integer pins the *same* ensemble for every trial
+        (the paper's setup: trials vary the defense, not the attacks);
+        ``None`` draws a fresh ensemble from each trial's private stream so
+        the Monte-Carlo average is also over attack draws.
+    """
+
+    n_attacks: int = 200
+    ratio: float = 0.08
+    seed: int | None = 1
+
+    def __post_init__(self) -> None:
+        if self.n_attacks <= 0:
+            raise ConfigurationError(f"n_attacks must be positive, got {self.n_attacks}")
+        if self.ratio <= 0:
+            raise ConfigurationError(f"ratio must be positive, got {self.ratio}")
+
+
+@dataclass(frozen=True)
+class DetectorSpec:
+    """Measurement-noise and bad-data-detector configuration.
+
+    Attributes
+    ----------
+    noise_sigma:
+        Measurement noise standard deviation (p.u.).
+    false_positive_rate:
+        BDD false-positive rate ``α``.
+    method:
+        How per-attack detection probabilities are computed:
+        ``"analytic"`` (noncentral-χ², fast) or ``"monte-carlo"`` (the
+        paper's procedure — ``n_noise_trials`` noisy measurement draws per
+        attack, drawn from the trial's private noise stream).
+    n_noise_trials:
+        Noise draws per attack for the Monte-Carlo method.
+    """
+
+    noise_sigma: float = 0.0015
+    false_positive_rate: float = 5e-4
+    method: str = "analytic"
+    n_noise_trials: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.noise_sigma <= 0:
+            raise ConfigurationError(f"noise_sigma must be positive, got {self.noise_sigma}")
+        if not (0.0 < self.false_positive_rate < 1.0):
+            raise ConfigurationError(
+                f"false_positive_rate must be in (0, 1), got {self.false_positive_rate}"
+            )
+        if self.method not in ("analytic", "monte-carlo"):
+            raise ConfigurationError(
+                f"method must be 'analytic' or 'monte-carlo', got {self.method!r}"
+            )
+        if self.n_noise_trials <= 0:
+            raise ConfigurationError(
+                f"n_noise_trials must be positive, got {self.n_noise_trials}"
+            )
+
+
+@dataclass(frozen=True)
+class MTDSpec:
+    """The defender's moving-target policy.
+
+    Attributes
+    ----------
+    policy:
+        ``"designed"`` — the paper's SPA-constrained design (eq. (4));
+        ``"random"`` — the prior-work baseline drawing a random perturbation
+        per trial; ``"none"`` — no perturbation (control).
+    gamma_threshold:
+        SPA target ``γ_th`` in radians for the designed policy.
+    design_method:
+        ``"joint"``, ``"two-stage"`` or ``"max-spa"``
+        (see :func:`repro.mtd.design.design_mtd_perturbation`).
+    max_relative_change:
+        Per-line relative reactance bound of the random policy (paper: 0.02).
+    perturb_all_dfacts:
+        Random policy: perturb every D-FACTS line (paper setup) or a random
+        non-empty subset per trial.
+    include_cost:
+        Also solve the post-perturbation OPF and record the MTD cost premium
+        per trial (adds one OPF solve per trial).
+    on_infeasible:
+        What the designed policy does when the D-FACTS range cannot reach
+        ``gamma_threshold``: ``"saturate"`` (default) falls back to the
+        maximum-SPA perturbation — the natural endpoint of the paper's
+        γ_th sweeps — while ``"raise"`` propagates the design error.
+    """
+
+    policy: str = "designed"
+    gamma_threshold: float | None = 0.25
+    design_method: str = "two-stage"
+    max_relative_change: float = 0.02
+    perturb_all_dfacts: bool = True
+    include_cost: bool = False
+    on_infeasible: str = "saturate"
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("designed", "random", "none"):
+            raise ConfigurationError(
+                f"policy must be 'designed', 'random' or 'none', got {self.policy!r}"
+            )
+        if self.policy == "designed":
+            if self.gamma_threshold is None:
+                raise ConfigurationError("the designed policy requires gamma_threshold")
+            if not (0.0 <= self.gamma_threshold <= math.pi / 2):
+                raise ConfigurationError(
+                    "gamma_threshold must lie in [0, pi/2] radians, "
+                    f"got {self.gamma_threshold}"
+                )
+        if self.on_infeasible not in ("saturate", "raise"):
+            raise ConfigurationError(
+                f"on_infeasible must be 'saturate' or 'raise', got {self.on_infeasible!r}"
+            )
+        if self.max_relative_change <= 0:
+            raise ConfigurationError(
+                f"max_relative_change must be positive, got {self.max_relative_change}"
+            )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, self-describing Monte-Carlo experiment.
+
+    The spec is the unit of work of the scenario engine: expanding it yields
+    ``n_trials`` independent trials whose random streams are spawned from
+    ``base_seed``, so results do not depend on execution order or worker
+    count.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label (excluded from the content hash).
+    grid, attack, detector, mtd:
+        The component specifications.
+    n_trials:
+        Number of Monte-Carlo trials.
+    base_seed:
+        Root of the per-trial seed tree.
+    deltas:
+        Detection-probability thresholds at which ``η'(δ)`` is recorded.
+    metric:
+        The headline per-trial metric, e.g. ``"eta(0.9)"`` or ``"spa"``.
+    description, tags:
+        Free-form labels (excluded from the content hash).
+    """
+
+    name: str
+    grid: GridSpec = field(default_factory=GridSpec)
+    attack: AttackSpec = field(default_factory=AttackSpec)
+    detector: DetectorSpec = field(default_factory=DetectorSpec)
+    mtd: MTDSpec = field(default_factory=MTDSpec)
+    n_trials: int = 1
+    base_seed: int = 0
+    deltas: tuple[float, ...] = (0.5, 0.8, 0.9, 0.95)
+    metric: str = "eta(0.9)"
+    description: str = ""
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario name must be a non-empty string")
+        if self.n_trials <= 0:
+            raise ConfigurationError(f"n_trials must be positive, got {self.n_trials}")
+        object.__setattr__(self, "deltas", tuple(float(d) for d in self.deltas))
+        object.__setattr__(self, "tags", tuple(str(t) for t in self.tags))
+
+    # ------------------------------------------------------------------
+    # dict / JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data representation (tuples become lists, JSON-safe)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or parsed JSON)."""
+        payload = dict(data)
+        payload["grid"] = _component_from(GridSpec, payload.get("grid", {}))
+        payload["attack"] = _component_from(AttackSpec, payload.get("attack", {}))
+        payload["detector"] = _component_from(DetectorSpec, payload.get("detector", {}))
+        payload["mtd"] = _component_from(MTDSpec, payload.get("mtd", {}))
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(f"unknown ScenarioSpec fields: {sorted(unknown)}")
+        return cls(**payload)
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def content_hash(self) -> str:
+        """SHA-256 over the execution-relevant content of the spec.
+
+        Stable across processes and Python versions; labelling fields are
+        excluded, so renaming a scenario keeps its cached results valid.
+        """
+        payload = self.to_dict()
+        for label in _LABEL_FIELDS:
+            payload.pop(label, None)
+        payload["schema_version"] = SPEC_SCHEMA_VERSION
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def with_updates(
+        self, updates: Mapping[str, Any] | None = None, **top_level: Any
+    ) -> "ScenarioSpec":
+        """Return a copy with dotted-path overrides applied.
+
+        ``updates`` maps dotted paths into the nested components, e.g.
+        ``{"mtd.gamma_threshold": 0.4, "grid.case": "ieee30"}``; keyword
+        arguments override top-level fields (``name=...``, ``n_trials=...``).
+        """
+        spec = self
+        for path, value in (updates or {}).items():
+            parts = path.split(".")
+            if len(parts) == 1:
+                spec = replace(spec, **{parts[0]: value})
+            elif len(parts) == 2:
+                component = getattr(spec, parts[0], None)
+                if not is_dataclass(component):
+                    raise ConfigurationError(f"unknown spec component {parts[0]!r}")
+                spec = replace(spec, **{parts[0]: replace(component, **{parts[1]: value})})
+            else:
+                raise ConfigurationError(f"update path too deep: {path!r}")
+        if top_level:
+            spec = replace(spec, **top_level)
+        return spec
+
+
+def _component_from(cls: type, data: Any) -> Any:
+    """Build a component dataclass from a mapping or pass an instance through."""
+    if isinstance(data, cls):
+        return data
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(f"expected a mapping for {cls.__name__}, got {type(data).__name__}")
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigurationError(f"unknown {cls.__name__} fields: {sorted(unknown)}")
+    payload = {k: _freeze(v) if isinstance(v, (list, tuple, dict)) else v for k, v in data.items()}
+    return cls(**payload)
+
+
+def expand_grid(
+    base: ScenarioSpec,
+    grid: Mapping[str, Sequence[Any]],
+    name_format: str | None = None,
+) -> list[ScenarioSpec]:
+    """Expand a base spec into the cartesian product of parameter sweeps.
+
+    Parameters
+    ----------
+    base:
+        The spec every point starts from.
+    grid:
+        Mapping of dotted parameter paths (as accepted by
+        :meth:`ScenarioSpec.with_updates`) to the values to sweep.
+    name_format:
+        Optional ``str.format`` template receiving the *leaf* parameter
+        names as keys (e.g. ``"{case}-g{gamma_threshold}"``); by default the
+        points are named ``base.name[k=v,...]``.
+
+    Returns
+    -------
+    list of ScenarioSpec
+        One spec per grid point, in row-major order of the given axes.
+    """
+    paths = list(grid)
+    points: list[ScenarioSpec] = [base]
+    for path in paths:
+        points = [
+            point.with_updates({path: value})
+            for point in points
+            for value in grid[path]
+        ]
+    named = []
+    for spec in points:
+        leaf_values = {}
+        for path in paths:
+            obj: Any = spec
+            for part in path.split("."):
+                obj = getattr(obj, part)
+            leaf_values[path.split(".")[-1]] = obj
+        if name_format is not None:
+            name = name_format.format(**leaf_values)
+        else:
+            suffix = ",".join(f"{k}={v}" for k, v in leaf_values.items())
+            name = f"{base.name}[{suffix}]" if suffix else base.name
+        named.append(spec.with_updates(name=name))
+    return named
+
+
+__all__ = [
+    "SPEC_SCHEMA_VERSION",
+    "GridSpec",
+    "AttackSpec",
+    "DetectorSpec",
+    "MTDSpec",
+    "ScenarioSpec",
+    "expand_grid",
+]

@@ -1,0 +1,200 @@
+"""Execution of a single scenario trial.
+
+:func:`run_trial` is the unit of work the engine schedules.  It is a
+module-level function of picklable arguments so that
+``concurrent.futures.ProcessPoolExecutor`` can ship it to workers, and it is
+*self-seeding*: trial ``i`` of a scenario derives its random streams from
+``SeedSequence(base_seed, spawn_key=(i,))``, so the result of a trial
+depends only on the spec and the trial index — never on execution order,
+worker count or process boundaries.  This is what makes the engine's
+parallel results bit-identical to serial ones.
+
+Within a process, the deterministic per-scenario context (network, baseline
+OPF, and — when the attack seed is pinned — the shared attack ensemble) is
+memoised, so running many trials of one scenario pays for the grid setup
+once per worker instead of once per trial.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.engine.results import TrialResult
+from repro.engine.spec import AttackSpec, DetectorSpec, GridSpec, ScenarioSpec
+from repro.exceptions import ConfigurationError, MTDDesignError
+from repro.grid.cases.registry import load_case
+from repro.grid.network import PowerNetwork
+from repro.mtd.cost import mtd_operational_cost
+from repro.mtd.design import design_mtd_perturbation
+from repro.mtd.effectiveness import EffectivenessEvaluator
+from repro.mtd.random_mtd import RandomMTDBaseline
+from repro.mtd.subspace import subspace_angle
+from repro.opf.dc_opf import solve_dc_opf
+from repro.opf.reactance_opf import solve_reactance_opf
+from repro.opf.result import OPFResult
+
+
+@lru_cache(maxsize=32)
+def _grid_context(grid: GridSpec) -> tuple[PowerNetwork, OPFResult]:
+    """The (deterministic) network and no-MTD operating point of a grid spec."""
+    network = load_case(grid.case, **grid.kwargs())
+    if grid.load_scale != 1.0:
+        network = network.with_loads(network.loads_mw() * grid.load_scale)
+    if grid.baseline == "reactance-opf":
+        baseline = solve_reactance_opf(network, n_random_starts=2, seed=0)
+    else:
+        baseline = solve_dc_opf(network)
+    return network, baseline
+
+
+@lru_cache(maxsize=32)
+def _shared_evaluator(
+    grid: GridSpec, attack: AttackSpec, detector: DetectorSpec
+) -> EffectivenessEvaluator:
+    """Evaluator with a pinned attack ensemble, shared by all trials."""
+    network, baseline = _grid_context(grid)
+    return EffectivenessEvaluator(
+        network,
+        operating_angles_rad=baseline.angles_rad,
+        base_reactances=baseline.reactances,
+        noise_sigma=detector.noise_sigma,
+        false_positive_rate=detector.false_positive_rate,
+        n_attacks=attack.n_attacks,
+        attack_ratio=attack.ratio,
+        seed=attack.seed,
+    )
+
+
+def clear_context_caches() -> None:
+    """Drop the per-process grid/evaluator memoisation (mostly for tests)."""
+    _grid_context.cache_clear()
+    _shared_evaluator.cache_clear()
+
+
+def trial_seed_sequence(base_seed: int, trial_index: int) -> np.random.SeedSequence:
+    """The root seed sequence of one trial.
+
+    Constructed directly with a spawn key so a worker does not have to
+    materialise the whole sibling list; identical to
+    ``SeedSequence(base_seed).spawn(n)[trial_index]``.
+    """
+    return np.random.SeedSequence(base_seed, spawn_key=(trial_index,))
+
+
+def run_trial(spec: ScenarioSpec, trial_index: int) -> TrialResult:
+    """Run trial ``trial_index`` of ``spec`` and record its metrics.
+
+    Every trial reports ``eta(δ)`` for each threshold in ``spec.deltas``,
+    the mean detection probability over the ensemble, the fraction of
+    attacks that stay undetectable, and the achieved subspace angle
+    ``spa``; with ``mtd.include_cost`` it additionally reports the baseline
+    and post-MTD OPF costs and the relative MTD premium.
+    """
+    if not (0 <= trial_index < spec.n_trials):
+        raise ConfigurationError(
+            f"trial_index must be in [0, {spec.n_trials}), got {trial_index}"
+        )
+    attack_seq, mtd_seq, noise_seq = trial_seed_sequence(spec.base_seed, trial_index).spawn(3)
+
+    network, baseline = _grid_context(spec.grid)
+    if spec.attack.seed is not None:
+        evaluator = _shared_evaluator(spec.grid, spec.attack, spec.detector)
+    else:
+        evaluator = EffectivenessEvaluator(
+            network,
+            operating_angles_rad=baseline.angles_rad,
+            base_reactances=baseline.reactances,
+            noise_sigma=spec.detector.noise_sigma,
+            false_positive_rate=spec.detector.false_positive_rate,
+            n_attacks=spec.attack.n_attacks,
+            attack_ratio=spec.attack.ratio,
+            seed=np.random.Generator(np.random.PCG64(attack_seq)),
+        )
+
+    reactances, spa = _apply_policy(
+        spec, network, baseline, evaluator, np.random.Generator(np.random.PCG64(mtd_seq))
+    )
+    if spec.detector.method == "monte-carlo":
+        effectiveness = evaluator.evaluate(
+            reactances,
+            method="monte-carlo",
+            n_noise_trials=spec.detector.n_noise_trials,
+            seed=np.random.Generator(np.random.PCG64(noise_seq)),
+        )
+    else:
+        effectiveness = evaluator.evaluate(reactances)
+
+    metrics: dict[str, float] = {}
+    for delta in spec.deltas:
+        metrics[f"eta({delta:g})"] = effectiveness.eta(delta)
+    probs = effectiveness.detection_probabilities
+    metrics["mean_detection_probability"] = float(np.mean(probs)) if probs.size else 0.0
+    metrics["undetectable_fraction"] = effectiveness.undetectable_fraction()
+    metrics["spa"] = float(spa)
+
+    if spec.mtd.include_cost:
+        cost = mtd_operational_cost(network, reactances, baseline_result=baseline)
+        metrics["baseline_cost"] = float(cost.baseline_cost)
+        metrics["mtd_cost"] = float(cost.mtd_cost)
+        metrics["cost_increase_percent"] = float(cost.percent_increase)
+
+    return TrialResult(trial_index=trial_index, metrics=metrics)
+
+
+def _apply_policy(
+    spec: ScenarioSpec,
+    network: PowerNetwork,
+    baseline: OPFResult,
+    evaluator: EffectivenessEvaluator,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, float]:
+    """Select the post-perturbation reactances according to the MTD policy.
+
+    Returns the reactance vector together with the achieved subspace angle
+    against the attacker's matrix.
+    """
+    mtd = spec.mtd
+    if mtd.policy == "none":
+        return evaluator.base_reactances, 0.0
+    if mtd.policy == "designed":
+        try:
+            design = design_mtd_perturbation(
+                network,
+                gamma_threshold=float(mtd.gamma_threshold),
+                attacker_reactances=evaluator.base_reactances,
+                preferred_reactances=baseline.reactances,
+                method=mtd.design_method,
+                seed=rng,
+            )
+        except MTDDesignError:
+            if mtd.on_infeasible != "saturate":
+                raise
+            # γ_th exceeds the achievable SPA: saturate at the maximum-angle
+            # perturbation, the endpoint the paper's sweeps flatten out at.
+            design = design_mtd_perturbation(
+                network,
+                gamma_threshold=0.0,
+                attacker_reactances=evaluator.base_reactances,
+                preferred_reactances=baseline.reactances,
+                method="max-spa",
+                seed=rng,
+            )
+        return design.perturbed_reactances, float(design.achieved_spa)
+    if mtd.policy == "random":
+        sampler = RandomMTDBaseline(
+            network,
+            evaluator,
+            max_relative_change=mtd.max_relative_change,
+            perturb_all_dfacts=mtd.perturb_all_dfacts,
+        )
+        perturbation = sampler.draw_perturbation(seed=rng)
+        spa = subspace_angle(
+            evaluator.attacker_matrix, perturbation.post_measurement_matrix()
+        )
+        return perturbation.perturbed_reactances, float(spa)
+    raise ConfigurationError(f"unknown MTD policy {mtd.policy!r}")
+
+
+__all__ = ["run_trial", "trial_seed_sequence", "clear_context_caches"]
