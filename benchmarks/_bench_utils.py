@@ -4,6 +4,12 @@ module injection)."""
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable
+
 import numpy as np
 
 from repro.grid.matrices import reduced_measurement_matrix
@@ -15,6 +21,32 @@ def print_banner(title: str) -> None:
     print("\n" + "=" * 78)
     print(title)
     print("=" * 78)
+
+
+def time_call(fn: Callable, *args, **kwargs) -> tuple[Any, float]:
+    """Run ``fn(*args, **kwargs)`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def emit_bench_json(name: str, payload: dict) -> Path:
+    """Write a ``BENCH_<name>.json`` timing record and return its path.
+
+    The record lands in the directory named by the ``REPRO_BENCH_OUT``
+    environment variable (default: the ``benchmarks/`` directory itself),
+    so every figure benchmark leaves a machine-readable perf trace next to
+    its printed tables.  CI's docs job runs the fig6a benchmark in smoke
+    mode and asserts the file appears, so BENCH emission cannot silently
+    break.
+    """
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", Path(__file__).resolve().parent))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    record = {"name": name, "created_unix": time.time(), **payload}
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"[bench] wrote {path}")
+    return path
 
 
 def gamma_grid(upper: float, step: float = 0.05) -> np.ndarray:
@@ -60,4 +92,10 @@ def exact_angle_perturbations(network, base_reactances, gammas):
     return results
 
 
-__all__ = ["print_banner", "gamma_grid", "exact_angle_perturbations"]
+__all__ = [
+    "print_banner",
+    "time_call",
+    "emit_bench_json",
+    "gamma_grid",
+    "exact_angle_perturbations",
+]

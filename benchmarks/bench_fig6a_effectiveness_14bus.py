@@ -17,7 +17,13 @@ import numpy as np
 from repro.analysis.metrics import monotonicity_fraction
 from repro.analysis.reporting import format_table
 
-from _bench_utils import exact_angle_perturbations, gamma_grid, print_banner
+from _bench_utils import (
+    emit_bench_json,
+    exact_angle_perturbations,
+    gamma_grid,
+    print_banner,
+    time_call,
+)
 
 
 def sweep_effectiveness(network, evaluator, baseline, deltas):
@@ -34,11 +40,22 @@ def sweep_effectiveness(network, evaluator, baseline, deltas):
 
 def bench_fig6a_effectiveness_14bus(benchmark, net14, baseline14, evaluator14, scale):
     """Regenerate the Fig. 6(a) series and time the full sweep."""
-    rows = benchmark.pedantic(
-        sweep_effectiveness,
-        args=(net14, evaluator14, baseline14, scale.deltas),
+    (rows, sweep_seconds) = benchmark.pedantic(
+        time_call,
+        args=(sweep_effectiveness, net14, evaluator14, baseline14, scale.deltas),
         rounds=1,
         iterations=1,
+    )
+    emit_bench_json(
+        "fig6a",
+        {
+            "figure": "fig6a",
+            "case": "ieee14",
+            "scale": scale.name,
+            "n_attacks": scale.n_attacks,
+            "n_gamma_points": len(rows),
+            "sweep_seconds": sweep_seconds,
+        },
     )
 
     print_banner(
@@ -61,5 +78,8 @@ def bench_fig6a_effectiveness_14bus(benchmark, net14, baseline14, evaluator14, s
         series = np.array([etas[delta] for _, etas in rows])
         assert monotonicity_fraction(series) >= 0.7
         assert series[-1] >= series[0]
-    top = rows[-1][1]
-    assert top[0.5] > 0.8
+    if scale.name != "smoke":
+        # Smoke budgets (tens of attacks) only exercise the plumbing; the
+        # quantitative shape is asserted at the quick/full budgets.
+        top = rows[-1][1]
+        assert top[0.5] > 0.8

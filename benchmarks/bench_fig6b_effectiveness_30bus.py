@@ -13,17 +13,28 @@ import numpy as np
 from repro.analysis.metrics import monotonicity_fraction
 from repro.analysis.reporting import format_table
 
-from _bench_utils import print_banner
+from _bench_utils import emit_bench_json, print_banner, time_call
 from bench_fig6a_effectiveness_14bus import sweep_effectiveness
 
 
 def bench_fig6b_effectiveness_30bus(benchmark, net30, baseline30, evaluator30, scale):
     """Regenerate the Fig. 6(b) series and time the full sweep."""
-    rows = benchmark.pedantic(
-        sweep_effectiveness,
-        args=(net30, evaluator30, baseline30, scale.deltas),
+    (rows, sweep_seconds) = benchmark.pedantic(
+        time_call,
+        args=(sweep_effectiveness, net30, evaluator30, baseline30, scale.deltas),
         rounds=1,
         iterations=1,
+    )
+    emit_bench_json(
+        "fig6b",
+        {
+            "figure": "fig6b",
+            "case": "ieee30",
+            "scale": scale.name,
+            "n_attacks": scale.n_attacks,
+            "n_gamma_points": len(rows),
+            "sweep_seconds": sweep_seconds,
+        },
     )
 
     print_banner(

@@ -17,10 +17,13 @@ from __future__ import annotations
 from repro.analysis.reporting import format_table
 from repro.engine import AttackSpec, GridSpec, MTDSpec, ScenarioEngine, ScenarioSpec
 
-from _bench_utils import print_banner
+from _bench_utils import emit_bench_json, print_banner
 
 DELTA_GRID = (0.1, 0.3, 0.5, 0.7, 0.9)
 ETA_TARGET = 0.9
+
+#: Trials per batched-kernel block when sampling the keyspace.
+KEYSPACE_BATCH_SIZE = 32
 
 
 def keyspace_spec(n_samples, n_attacks):
@@ -49,12 +52,24 @@ def sample_keyspace_fractions(engine, n_samples, n_attacks):
 
 def bench_fig8_keyspace(benchmark, scale):
     """Regenerate the Fig. 8 curve and time the keyspace evaluation."""
-    engine = ScenarioEngine()
+    engine = ScenarioEngine(batch_size=KEYSPACE_BATCH_SIZE)
     fractions, result = benchmark.pedantic(
         sample_keyspace_fractions,
         args=(engine, scale.n_keyspace, scale.n_attacks),
         rounds=1,
         iterations=1,
+    )
+    emit_bench_json(
+        "fig8",
+        {
+            "figure": "fig8",
+            "case": "ieee14",
+            "scale": scale.name,
+            "n_attacks": scale.n_attacks,
+            "n_keyspace": scale.n_keyspace,
+            "batch_size": KEYSPACE_BATCH_SIZE,
+            "engine_seconds": result.elapsed_seconds,
+        },
     )
 
     print_banner(

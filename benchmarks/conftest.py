@@ -9,7 +9,9 @@ the knees are — can be compared against the publication directly.
 Monte-Carlo budgets default to a "quick" scale so that the whole suite runs
 in a few minutes; set the environment variable ``REPRO_BENCH_SCALE=full`` to
 use the paper's original budgets (1000 attacks, 500-sample keyspace, 24-hour
-trace with 1000-trial detection estimates).
+trace with 1000-trial detection estimates), or ``REPRO_BENCH_SCALE=smoke``
+for a tiny budget that only exercises the plumbing (used by CI's docs job to
+verify the ``BENCH_*.json`` emission stays alive).
 """
 
 from __future__ import annotations
@@ -37,14 +39,16 @@ class BenchScale:
     deltas: tuple[float, ...] = (0.5, 0.8, 0.9, 0.95)
 
 
+_SMOKE = BenchScale(name="smoke", n_attacks=40, n_keyspace=10, n_random_trials=2, n_hours=4)
 _QUICK = BenchScale(name="quick", n_attacks=400, n_keyspace=100, n_random_trials=5, n_hours=24)
 _FULL = BenchScale(name="full", n_attacks=1000, n_keyspace=500, n_random_trials=5, n_hours=24)
+_SCALES = {"smoke": _SMOKE, "quick": _QUICK, "full": _FULL}
 
 
 @pytest.fixture(scope="session")
 def scale() -> BenchScale:
     """The active benchmark scale (see module docstring)."""
-    return _FULL if os.environ.get("REPRO_BENCH_SCALE", "").lower() == "full" else _QUICK
+    return _SCALES.get(os.environ.get("REPRO_BENCH_SCALE", "").lower(), _QUICK)
 
 
 @pytest.fixture(scope="session")

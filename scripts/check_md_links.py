@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Check that intra-repository Markdown links resolve.
+
+Scans every ``*.md`` file in the repository (skipping ``.git`` and other
+dot-directories), extracts inline links (``[text](target)``), and verifies
+that each *relative* target exists on disk.  External links (``http(s)``,
+``mailto:``) and pure in-page anchors (``#section``) are ignored; anchors
+on relative links are stripped before the existence check.
+
+Exit status: 0 when every link resolves, 1 otherwise (each broken link is
+listed as ``file:line: target``).  Run by CI's docs job; usable locally::
+
+    python scripts/check_md_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links: [text](target "optional title")
+LINK_RE = re.compile(r"\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+
+#: Targets that are not filesystem paths.
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(root: Path):
+    """Yield every Markdown file under ``root``, skipping dot-directories."""
+    for path in sorted(root.rglob("*.md")):
+        if any(part.startswith(".") for part in path.relative_to(root).parts[:-1]):
+            continue
+        yield path
+
+
+def find_broken_links(root: Path) -> list[tuple[Path, int, str]]:
+    """Return ``(file, line_number, target)`` for every unresolvable link."""
+    broken: list[tuple[Path, int, str]] = []
+    for md_file in iter_markdown_files(root):
+        for line_number, line in enumerate(md_file.read_text().splitlines(), start=1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                    continue
+                path_part = target.split("#", 1)[0]
+                if not path_part:
+                    continue
+                resolved = (md_file.parent / path_part).resolve()
+                if not resolved.exists():
+                    broken.append((md_file, line_number, target))
+    return broken
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry point; returns the process exit status."""
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    broken = find_broken_links(root)
+    checked = sum(1 for _ in iter_markdown_files(root))
+    if broken:
+        for md_file, line_number, target in broken:
+            print(f"{md_file.relative_to(root)}:{line_number}: broken link -> {target}")
+        print(f"\n{len(broken)} broken link(s) across {checked} Markdown file(s).")
+        return 1
+    print(f"All intra-repo Markdown links resolve ({checked} file(s) checked).")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

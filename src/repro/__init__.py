@@ -46,6 +46,8 @@ from repro.powerflow import solve_dc_power_flow, ptdf_matrix
 from repro.opf import OPFResult, solve_dc_opf, solve_reactance_opf
 from repro.estimation import (
     BadDataDetector,
+    LinearModel,
+    LinearModelCache,
     MeasurementSystem,
     WLSStateEstimator,
 )
@@ -90,10 +92,11 @@ from repro.engine import (
     expand_grid,
     paper_scenarios,
     run_scenario,
+    run_trial_batch,
     scenario_suite,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # exceptions
@@ -130,6 +133,8 @@ __all__ = [
     "MeasurementSystem",
     "WLSStateEstimator",
     "BadDataDetector",
+    "LinearModel",
+    "LinearModelCache",
     # attacks
     "stealthy_attack",
     "targeted_state_attack",
@@ -167,6 +172,7 @@ __all__ = [
     "expand_grid",
     "ScenarioEngine",
     "run_scenario",
+    "run_trial_batch",
     "ResultCache",
     "ScenarioResult",
     "TrialResult",

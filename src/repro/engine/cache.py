@@ -40,6 +40,7 @@ class ResultCache:
 
     @property
     def directory(self) -> Path:
+        """Root directory the cache entries live in."""
         return self._directory
 
     def path_for(self, spec: ScenarioSpec) -> Path:

@@ -40,10 +40,12 @@ class TrialResult:
         )
 
     def to_dict(self) -> dict[str, Any]:
+        """Plain-data (JSON-safe) representation of the trial."""
         return {"trial_index": self.trial_index, "metrics": dict(self.metrics)}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TrialResult":
+        """Rebuild a trial record from :meth:`to_dict` output."""
         return cls(trial_index=int(data["trial_index"]), metrics=dict(data["metrics"]))
 
 
@@ -69,6 +71,7 @@ class ScenarioResult:
     # ------------------------------------------------------------------
     @property
     def n_trials(self) -> int:
+        """Number of trials the scenario produced."""
         return len(self.trials)
 
     def metric_names(self) -> tuple[str, ...]:
@@ -78,7 +81,10 @@ class ScenarioResult:
         return tuple(self.trials[0].metrics)
 
     def values(self, metric: str | None = None) -> np.ndarray:
-        """Per-trial values of ``metric`` (default: the spec's headline metric)."""
+        """Per-trial values of ``metric``, shape ``(n_trials,)``.
+
+        Defaults to the spec's headline metric (``spec.metric``).
+        """
         name = self.spec.metric if metric is None else metric
         try:
             return np.array([trial.metrics[name] for trial in self.trials])
@@ -99,6 +105,7 @@ class ScenarioResult:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
+        """Plain-data representation (what the on-disk cache stores)."""
         return {
             "spec": self.spec.to_dict(),
             "spec_hash": self.spec.content_hash(),
@@ -109,6 +116,7 @@ class ScenarioResult:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any], from_cache: bool = False) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict` output (or parsed JSON)."""
         return cls(
             spec=ScenarioSpec.from_dict(data["spec"]),
             trials=tuple(TrialResult.from_dict(t) for t in data["trials"]),

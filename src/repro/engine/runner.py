@@ -9,6 +9,14 @@ independent trials and executes them either serially or on a
 results are bit-identical to the serial ones — parallelism is purely a
 throughput knob.
 
+The same holds for *batching*: with a ``batch_size`` (on the engine, the
+spec, or the :meth:`ScenarioEngine.run` call), trials are executed in
+blocks through :func:`repro.engine.batch.run_trial_batch`, sharing one
+:class:`~repro.estimation.linear_model.LinearModelCache` per block so that
+trials evaluating the same (case, perturbation) pair factorize the
+measurement Jacobian once.  Batched results are bit-identical to serial
+per-trial results.
+
 With a :class:`~repro.engine.cache.ResultCache` attached, completed
 scenarios are persisted by content hash and replayed for free on the next
 run; re-running a whole suite after an interruption only executes the
@@ -23,6 +31,7 @@ from itertools import repeat
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.engine.batch import run_trial_batch
 from repro.engine.cache import ResultCache
 from repro.engine.results import ScenarioResult
 from repro.engine.spec import ScenarioSpec, expand_grid
@@ -41,12 +50,18 @@ class ScenarioEngine:
     n_workers:
         Default worker count for :meth:`run`; 1 means serial in-process
         execution, larger values use a process pool.
+    batch_size:
+        Default trial-batch size for :meth:`run`.  ``None`` or 1 runs the
+        per-trial path; larger values execute trials in blocks of
+        ``batch_size`` through the batched kernel with per-block
+        factorization caching.  Results are bit-identical either way.
     """
 
     def __init__(
         self,
         cache: ResultCache | str | Path | None = None,
         n_workers: int = 1,
+        batch_size: int | None = None,
     ) -> None:
         if cache is None or isinstance(cache, ResultCache):
             self._cache = cache
@@ -54,16 +69,28 @@ class ScenarioEngine:
             self._cache = ResultCache(cache)
         if n_workers < 1:
             raise ConfigurationError(f"n_workers must be at least 1, got {n_workers}")
+        if batch_size is not None and batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be at least 1 (or None), got {batch_size}"
+            )
         self._n_workers = int(n_workers)
+        self._batch_size = None if batch_size is None else int(batch_size)
         self.executed_trials = 0
 
     @property
     def cache(self) -> ResultCache | None:
+        """The attached result cache, or ``None``."""
         return self._cache
 
     @property
     def n_workers(self) -> int:
+        """Default worker count used by :meth:`run`."""
         return self._n_workers
+
+    @property
+    def batch_size(self) -> int | None:
+        """Default trial-batch size used by :meth:`run` (``None`` = per-trial)."""
+        return self._batch_size
 
     # ------------------------------------------------------------------
     def run(
@@ -71,6 +98,7 @@ class ScenarioEngine:
         spec: ScenarioSpec,
         n_workers: int | None = None,
         use_cache: bool = True,
+        batch_size: int | None = None,
     ) -> ScenarioResult:
         """Run one scenario (or replay it from the cache).
 
@@ -83,6 +111,10 @@ class ScenarioEngine:
         use_cache:
             Set to ``False`` to force re-execution even on a cache hit (the
             fresh result still overwrites the cache entry).
+        batch_size:
+            Override of the trial-batch size for this run; falls back to
+            ``spec.batch_size``, then the engine default.  Never changes
+            results, only how they are computed.
         """
         if use_cache and self._cache is not None:
             hit = self._cache.get(spec)
@@ -93,13 +125,28 @@ class ScenarioEngine:
         if workers < 1:
             raise ConfigurationError(f"n_workers must be at least 1, got {workers}")
         workers = min(workers, spec.n_trials)
+        if batch_size is None:
+            batch_size = spec.batch_size if spec.batch_size is not None else self._batch_size
+        if batch_size is not None and batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be at least 1 (or None), got {batch_size}"
+            )
 
         start = time.perf_counter()
-        if workers <= 1:
-            trials = [run_trial(spec, index) for index in range(spec.n_trials)]
+        if batch_size is None or batch_size <= 1:
+            if workers <= 1:
+                trials = [run_trial(spec, index) for index in range(spec.n_trials)]
+            else:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    trials = list(pool.map(run_trial, repeat(spec), range(spec.n_trials)))
         else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                trials = list(pool.map(run_trial, repeat(spec), range(spec.n_trials)))
+            chunks = _chunk_indices(spec.n_trials, int(batch_size))
+            if workers <= 1:
+                batches = [run_trial_batch(spec, chunk) for chunk in chunks]
+            else:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    batches = list(pool.map(run_trial_batch, repeat(spec), chunks))
+            trials = [trial for batch in batches for trial in batch]
         elapsed = time.perf_counter() - start
         self.executed_trials += spec.n_trials
 
@@ -119,6 +166,7 @@ class ScenarioEngine:
         specs: Iterable[ScenarioSpec],
         n_workers: int | None = None,
         use_cache: bool = True,
+        batch_size: int | None = None,
     ) -> list[ScenarioResult]:
         """Run several scenarios in order; each is independently cached.
 
@@ -126,7 +174,10 @@ class ScenarioEngine:
         after another so that a suite's memory high-water mark stays at one
         scenario's working set.
         """
-        return [self.run(spec, n_workers=n_workers, use_cache=use_cache) for spec in specs]
+        return [
+            self.run(spec, n_workers=n_workers, use_cache=use_cache, batch_size=batch_size)
+            for spec in specs
+        ]
 
     def run_sweep(
         self,
@@ -135,6 +186,7 @@ class ScenarioEngine:
         n_workers: int | None = None,
         use_cache: bool = True,
         name_format: str | None = None,
+        batch_size: int | None = None,
     ) -> list[ScenarioResult]:
         """Expand ``base`` over a parameter grid and run every point.
 
@@ -143,16 +195,27 @@ class ScenarioEngine:
         "ieee30")}``; the cartesian product is executed in row-major order.
         """
         specs = expand_grid(base, grid, name_format=name_format)
-        return self.run_suite(specs, n_workers=n_workers, use_cache=use_cache)
+        return self.run_suite(
+            specs, n_workers=n_workers, use_cache=use_cache, batch_size=batch_size
+        )
+
+
+def _chunk_indices(n_trials: int, batch_size: int) -> list[list[int]]:
+    """Contiguous trial-index blocks of at most ``batch_size`` each."""
+    return [
+        list(range(start, min(start + batch_size, n_trials)))
+        for start in range(0, n_trials, batch_size)
+    ]
 
 
 def run_scenario(
     spec: ScenarioSpec,
     n_workers: int = 1,
     cache: ResultCache | str | Path | None = None,
+    batch_size: int | None = None,
 ) -> ScenarioResult:
     """One-shot convenience wrapper around :class:`ScenarioEngine`."""
-    return ScenarioEngine(cache=cache, n_workers=n_workers).run(spec)
+    return ScenarioEngine(cache=cache, n_workers=n_workers, batch_size=batch_size).run(spec)
 
 
 __all__ = ["ScenarioEngine", "run_scenario"]

@@ -3,9 +3,10 @@
 Each entry maps a name to a *suite* — a tuple of
 :class:`~repro.engine.spec.ScenarioSpec` — that captures the setup of one
 published result of the paper (Figs. 6-11, Tables I-III) or one of the
-larger synthetic stress cases this repository adds on top (57- and 118-bus
-networks from :func:`repro.grid.cases.synthetic_case`, registered in the
-case registry as ``synthetic57`` / ``synthetic118``).
+larger synthetic stress cases this repository adds on top (57-, 118- and
+300-bus networks from :func:`repro.grid.cases.synthetic_case`, registered
+in the case registry as ``synthetic57`` / ``synthetic118`` /
+``synthetic300``).
 
 The registry stores *specifications only*: building a suite is free, and
 nothing runs until the suite is handed to a
@@ -179,8 +180,8 @@ def _scale_suite() -> tuple[ScenarioSpec, ...]:
     """Beyond the paper: the same pipeline on progressively larger grids.
 
     Random-policy Monte Carlo with per-trial attack ensembles (``seed=None``)
-    across the IEEE cases and the 57-/118-bus synthetic networks — the
-    workload the engine's process pool and cache exist for.
+    across the IEEE cases and the 57-/118-/300-bus synthetic networks — the
+    workload the engine's process pool, batched kernel and cache exist for.
     """
     specs = []
     for case, baseline in (
@@ -188,6 +189,7 @@ def _scale_suite() -> tuple[ScenarioSpec, ...]:
         ("ieee30", "dc-opf"),
         ("synthetic57", "dc-opf"),
         ("synthetic118", "dc-opf"),
+        ("synthetic300", "dc-opf"),
     ):
         specs.append(
             ScenarioSpec(

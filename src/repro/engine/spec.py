@@ -24,10 +24,18 @@ from repro.exceptions import ConfigurationError
 
 #: Bumped whenever the trial semantics change in a way that invalidates
 #: previously cached results (the version participates in the content hash).
-SPEC_SCHEMA_VERSION = 1
+#: Version 2: the batched trial kernel — detection probabilities are
+#: evaluated with vectorised BLAS kernels, which shifts results by
+#: floating-point rounding relative to the version-1 per-attack loops.
+SPEC_SCHEMA_VERSION = 2
 
 #: Spec fields that label a scenario without affecting its outcome.
 _LABEL_FIELDS = ("name", "description", "tags")
+
+#: Spec fields that tune *how* a scenario executes without affecting its
+#: outcome (batched results are bit-identical to serial ones), and are
+#: therefore excluded from the content hash like the label fields.
+_EXECUTION_FIELDS = ("batch_size",)
 
 
 def _freeze(value: Any) -> Any:
@@ -231,6 +239,12 @@ class ScenarioSpec:
         Detection-probability thresholds at which ``η'(δ)`` is recorded.
     metric:
         The headline per-trial metric, e.g. ``"eta(0.9)"`` or ``"spa"``.
+    batch_size:
+        Execution hint (excluded from the content hash): how many trials
+        the engine groups into one batched-kernel call sharing a
+        :class:`~repro.estimation.linear_model.LinearModelCache`.  ``None``
+        (default) leaves the choice to the engine; batching never changes
+        results — batched trials are bit-identical to serial ones.
     description, tags:
         Free-form labels (excluded from the content hash).
     """
@@ -244,6 +258,7 @@ class ScenarioSpec:
     base_seed: int = 0
     deltas: tuple[float, ...] = (0.5, 0.8, 0.9, 0.95)
     metric: str = "eta(0.9)"
+    batch_size: int | None = None
     description: str = ""
     tags: tuple[str, ...] = ()
 
@@ -252,6 +267,10 @@ class ScenarioSpec:
             raise ConfigurationError("scenario name must be a non-empty string")
         if self.n_trials <= 0:
             raise ConfigurationError(f"n_trials must be positive, got {self.n_trials}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be at least 1 (or None), got {self.batch_size}"
+            )
         object.__setattr__(self, "deltas", tuple(float(d) for d in self.deltas))
         object.__setattr__(self, "tags", tuple(str(t) for t in self.tags))
 
@@ -277,10 +296,12 @@ class ScenarioSpec:
         return cls(**payload)
 
     def to_json(self, indent: int | None = None) -> str:
+        """Serialise the spec to canonical (sorted-key) JSON text."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_json` output."""
         return cls.from_dict(json.loads(text))
 
     # ------------------------------------------------------------------
@@ -289,12 +310,14 @@ class ScenarioSpec:
     def content_hash(self) -> str:
         """SHA-256 over the execution-relevant content of the spec.
 
-        Stable across processes and Python versions; labelling fields are
-        excluded, so renaming a scenario keeps its cached results valid.
+        Stable across processes and Python versions; labelling and
+        execution-tuning fields (``batch_size``) are excluded, so renaming
+        a scenario or changing how it is batched keeps its cached results
+        valid.
         """
         payload = self.to_dict()
-        for label in _LABEL_FIELDS:
-            payload.pop(label, None)
+        for excluded in _LABEL_FIELDS + _EXECUTION_FIELDS:
+            payload.pop(excluded, None)
         payload["schema_version"] = SPEC_SCHEMA_VERSION
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.engine.results import TrialResult
 from repro.engine.spec import AttackSpec, DetectorSpec, GridSpec, ScenarioSpec
+from repro.estimation.linear_model import LinearModelCache
 from repro.exceptions import ConfigurationError, MTDDesignError
 from repro.grid.cases.registry import load_case
 from repro.grid.network import PowerNetwork
@@ -83,7 +84,11 @@ def trial_seed_sequence(base_seed: int, trial_index: int) -> np.random.SeedSeque
     return np.random.SeedSequence(base_seed, spawn_key=(trial_index,))
 
 
-def run_trial(spec: ScenarioSpec, trial_index: int) -> TrialResult:
+def run_trial(
+    spec: ScenarioSpec,
+    trial_index: int,
+    model_cache: LinearModelCache | None = None,
+) -> TrialResult:
     """Run trial ``trial_index`` of ``spec`` and record its metrics.
 
     Every trial reports ``eta(δ)`` for each threshold in ``spec.deltas``,
@@ -91,6 +96,26 @@ def run_trial(spec: ScenarioSpec, trial_index: int) -> TrialResult:
     attacks that stay undetectable, and the achieved subspace angle
     ``spa``; with ``mtd.include_cost`` it additionally reports the baseline
     and post-MTD OPF costs and the relative MTD premium.
+
+    Parameters
+    ----------
+    spec:
+        The scenario the trial belongs to.
+    trial_index:
+        Position of the trial in ``[0, spec.n_trials)``; selects the
+        trial's seed-spawned random streams.
+    model_cache:
+        Optional :class:`~repro.estimation.linear_model.LinearModelCache`
+        shared with neighbouring trials (the batched execution path of
+        :func:`repro.engine.batch.run_trial_batch` passes one per batch),
+        so trials evaluating the same perturbed reactances factorize the
+        measurement Jacobian once.  Factorisation reuse is bit-identical to
+        rebuilding, so the result does not depend on the cache.
+
+    Returns
+    -------
+    TrialResult
+        The trial's flat metric mapping.
     """
     if not (0 <= trial_index < spec.n_trials):
         raise ConfigurationError(
@@ -122,9 +147,10 @@ def run_trial(spec: ScenarioSpec, trial_index: int) -> TrialResult:
             method="monte-carlo",
             n_noise_trials=spec.detector.n_noise_trials,
             seed=np.random.Generator(np.random.PCG64(noise_seq)),
+            model_cache=model_cache,
         )
     else:
-        effectiveness = evaluator.evaluate(reactances)
+        effectiveness = evaluator.evaluate(reactances, model_cache=model_cache)
 
     metrics: dict[str, float] = {}
     for delta in spec.deltas:

@@ -11,8 +11,14 @@ Implements the DC-model supervisory stack of Section III of the paper:
 * :class:`~repro.estimation.bdd.BadDataDetector` — the residual-based
   detector with a threshold calibrated to a target false-positive rate, plus
   analytic (noncentral-χ²) and Monte-Carlo detection-probability evaluators.
+* :class:`~repro.estimation.linear_model.LinearModel` /
+  :class:`~repro.estimation.linear_model.LinearModelCache` — the factorized
+  batched kernel behind both: Jacobian, gain-matrix Cholesky and residual
+  projector computed once per perturbation and applied to whole ``(B, M)``
+  measurement/attack batches with single BLAS calls.
 """
 
+from repro.estimation.linear_model import BatchStateEstimate, LinearModel, LinearModelCache
 from repro.estimation.measurement import MeasurementSystem
 from repro.estimation.state_estimator import StateEstimate, WLSStateEstimator
 from repro.estimation.bdd import BadDataDetector
@@ -23,6 +29,9 @@ __all__ = [
     "WLSStateEstimator",
     "StateEstimate",
     "BadDataDetector",
+    "LinearModel",
+    "LinearModelCache",
+    "BatchStateEstimate",
     "is_observable",
     "observability_report",
 ]

@@ -5,6 +5,12 @@ Implements the estimator of Section III of the paper:
 .. math::  θ̂ = (Hᵀ W H)^{-1} Hᵀ W z
 
 together with the residual quantities consumed by the bad-data detector.
+All linear algebra is delegated to a factorized
+:class:`~repro.estimation.linear_model.LinearModel`, so the per-vector
+methods here and the batched entry points (:meth:`WLSStateEstimator.
+estimate_batch`, :meth:`WLSStateEstimator.residual_norms`) perform the
+exact same arithmetic — a batch of one is bit-identical to the scalar
+call.
 """
 
 from __future__ import annotations
@@ -14,8 +20,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import EstimationError
+from repro.estimation.linear_model import BatchStateEstimate, LinearModel
 from repro.estimation.measurement import MeasurementSystem
-from repro.utils.linalg import is_full_column_rank
 
 
 @dataclass(frozen=True)
@@ -25,13 +31,14 @@ class StateEstimate:
     Attributes
     ----------
     angles_rad:
-        Estimated non-slack bus angles (the state vector ``θ̂``).
+        Estimated non-slack bus angles (the state vector ``θ̂``), shape
+        ``(N − 1,)``.
     residual_vector:
-        Raw measurement residual ``z − Hθ̂``.
+        Raw measurement residual ``z − Hθ̂``, shape ``(M,)``.
     residual_norm:
         Weighted residual norm ``‖W^{1/2}(z − Hθ̂)‖`` used by the BDD.
     estimated_measurements:
-        The fitted measurement vector ``Hθ̂``.
+        The fitted measurement vector ``Hθ̂``, shape ``(M,)``.
     """
 
     angles_rad: np.ndarray
@@ -47,6 +54,10 @@ class WLSStateEstimator:
     ----------
     system:
         The measurement model providing ``H`` and the weights ``W``.
+    model:
+        Optional pre-factorized :class:`LinearModel` for ``system`` (e.g.
+        served from a :class:`~repro.estimation.linear_model.
+        LinearModelCache`); built from the system when omitted.
 
     Raises
     ------
@@ -54,22 +65,29 @@ class WLSStateEstimator:
         If the measurement matrix is rank deficient (unobservable network).
     """
 
-    def __init__(self, system: MeasurementSystem) -> None:
+    def __init__(self, system: MeasurementSystem, model: LinearModel | None = None) -> None:
         self._system = system
-        H = system.matrix()
-        if not is_full_column_rank(H):
-            raise EstimationError(
-                "measurement matrix is rank deficient; the network is unobservable"
-            )
-        self._H = H
-        weights = system.weights()
-        self._sqrt_w = np.sqrt(weights)
-        # Precompute the weighted pseudo-inverse (HᵀWH)⁻¹HᵀW via a QR
-        # factorisation of W^{1/2}H for numerical stability.
-        weighted_H = self._sqrt_w[:, None] * H
-        q, r = np.linalg.qr(weighted_H)
-        self._q = q
-        self._r = r
+        if model is None:
+            model = LinearModel(system.matrix(), system.weights())
+        else:
+            # Guard against a mis-keyed cache handing over a factorization
+            # of a different model.  Comparing the full Jacobian would cost
+            # the very rebuild the cache avoids, but the dimensions and the
+            # weight vector (which encodes noise_sigma) are cheap to check
+            # exactly — they catch the classic "keyed on reactances but
+            # forgot noise_sigma" mistake.
+            if model.n_measurements != system.n_measurements or model.n_states != system.n_states:
+                raise EstimationError(
+                    f"injected model shape ({model.n_measurements}, {model.n_states}) does "
+                    f"not match the measurement system "
+                    f"({system.n_measurements}, {system.n_states})"
+                )
+            if not np.array_equal(model.sqrt_weights, np.sqrt(system.weights())):
+                raise EstimationError(
+                    "injected model weights disagree with the measurement system; "
+                    "the factorization cache key must include the noise level"
+                )
+        self._model = model
 
     # ------------------------------------------------------------------
     @property
@@ -78,38 +96,61 @@ class WLSStateEstimator:
         return self._system
 
     @property
+    def model(self) -> LinearModel:
+        """The underlying factorized linear model."""
+        return self._model
+
+    @property
     def measurement_matrix(self) -> np.ndarray:
-        """The reduced measurement matrix ``H``."""
-        return self._H
+        """The reduced measurement matrix ``H``, shape ``(M, N − 1)``."""
+        return self._model.matrix
 
     @property
     def degrees_of_freedom(self) -> int:
         """Residual degrees of freedom ``M − (N − 1)``."""
-        return self._H.shape[0] - self._H.shape[1]
+        return self._model.degrees_of_freedom
+
+    def gain_cholesky(self) -> np.ndarray:
+        """Upper Cholesky factor of the gain matrix ``G = HᵀWH``."""
+        return self._model.gain_cholesky()
 
     # ------------------------------------------------------------------
     def estimate(self, measurements: np.ndarray) -> StateEstimate:
-        """Estimate the state from a measurement vector ``z``."""
+        """Estimate the state from one measurement vector ``z`` (``(M,)``)."""
         z = np.asarray(measurements, dtype=float).ravel()
-        if z.shape[0] != self._H.shape[0]:
-            raise EstimationError(
-                f"expected {self._H.shape[0]} measurements, got {z.shape[0]}"
-            )
-        weighted_z = self._sqrt_w * z
-        theta = np.linalg.solve(self._r, self._q.T @ weighted_z)
-        fitted = self._H @ theta
-        residual = z - fitted
-        weighted_residual = self._sqrt_w * residual
+        batch = self.estimate_batch(z[None, :])
+        fitted = batch.estimated_measurements[0]
         return StateEstimate(
-            angles_rad=theta,
-            residual_vector=residual,
-            residual_norm=float(np.linalg.norm(weighted_residual)),
+            angles_rad=batch.angles_rad[0],
+            residual_vector=z - fitted,
+            residual_norm=float(batch.residual_norms[0]),
             estimated_measurements=fitted,
         )
 
+    def estimate_batch(self, measurements: np.ndarray) -> BatchStateEstimate:
+        """Estimate states for a whole measurement batch at once.
+
+        Parameters
+        ----------
+        measurements:
+            Stacked measurement vectors, shape ``(B, M)``.
+
+        Returns
+        -------
+        BatchStateEstimate
+            States ``(B, N − 1)``, weighted residual norms ``(B,)`` and
+            fitted measurements ``(B, M)``, evaluated with single BLAS
+            calls.
+        """
+        return self._model.estimate_batch(measurements)
+
     def residual_norm(self, measurements: np.ndarray) -> float:
-        """Shortcut returning only the weighted residual norm."""
-        return self.estimate(measurements).residual_norm
+        """Shortcut returning only the weighted residual norm of one ``z``."""
+        return float(self._model.residual_norms(np.asarray(measurements, dtype=float).ravel()[None, :])[0])
+
+    def residual_norms(self, measurements: np.ndarray) -> np.ndarray:
+        """Weighted residual norms of a measurement batch, shape ``(B,)``."""
+        return self._model.residual_norms(measurements)
 
     def attack_residual(self, attack: np.ndarray) -> np.ndarray:
         """The deterministic residual component ``(I − Γ)a`` of an attack.
@@ -117,21 +158,38 @@ class WLSStateEstimator:
         This is the quantity ``r'_a`` of the paper's Appendix A: the part of
         the BDD residual contributed by the attack vector itself, independent
         of the measurement noise.
+
+        Parameters
+        ----------
+        attack:
+            One attack vector, shape ``(M,)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Measurement-space residual, shape ``(M,)``.
         """
         a = np.asarray(attack, dtype=float).ravel()
-        if a.shape[0] != self._H.shape[0]:
+        if a.shape[0] != self._model.n_measurements:
             raise EstimationError(
-                f"attack length {a.shape[0]} does not match measurement count {self._H.shape[0]}"
+                f"attack length {a.shape[0]} does not match measurement count "
+                f"{self._model.n_measurements}"
             )
-        weighted_a = self._sqrt_w * a
-        projection = self._q @ (self._q.T @ weighted_a)
-        # Convert the weighted-space residual back to measurement space.
-        return (weighted_a - projection) / self._sqrt_w
+        return self._model.attack_residuals(a)
 
     def attack_residual_norm(self, attack: np.ndarray) -> float:
         """Weighted norm of the attack residual ``‖W^{1/2}(I − Γ)a‖``."""
-        residual = self.attack_residual(attack)
-        return float(np.linalg.norm(self._sqrt_w * residual))
+        a = np.asarray(attack, dtype=float).ravel()
+        if a.shape[0] != self._model.n_measurements:
+            raise EstimationError(
+                f"attack length {a.shape[0]} does not match measurement count "
+                f"{self._model.n_measurements}"
+            )
+        return float(self._model.attack_residual_norms(a[None, :])[0])
+
+    def attack_residual_norms(self, attacks: np.ndarray) -> np.ndarray:
+        """Weighted attack-residual norms for a ``(B, M)`` batch, shape ``(B,)``."""
+        return self._model.attack_residual_norms(attacks)
 
 
 __all__ = ["WLSStateEstimator", "StateEstimate"]

@@ -25,6 +25,7 @@ def synthetic_case(
     load_range_mw: tuple[float, float] = (10.0, 60.0),
     reactance_range: tuple[float, float] = (0.05, 0.5),
     capacity_margin: float = 1.6,
+    rate_scale: float = 1.0,
     seed: int | np.random.Generator | None = 0,
 ) -> PowerNetwork:
     """Generate a random connected network.
@@ -53,6 +54,11 @@ def synthetic_case(
         Uniform range from which branch reactances are drawn.
     capacity_margin:
         Total generation capacity as a multiple of total load.
+    rate_scale:
+        Multiplier on the heuristic uniform line rating.  The heuristic
+        tightens with network size; large cases (300+ buses) need a scale
+        above 1 to remain dispatchable from their handful of generator
+        buses while smaller cases keep ``1.0`` to preserve congestion.
     seed:
         Seed or generator for reproducibility.
 
@@ -75,6 +81,8 @@ def synthetic_case(
         raise ConfigurationError(
             f"capacity_margin must exceed 1.0, got {capacity_margin}"
         )
+    if rate_scale <= 0.0:
+        raise ConfigurationError(f"rate_scale must be positive, got {rate_scale}")
 
     rng = as_generator(seed)
 
@@ -92,7 +100,7 @@ def synthetic_case(
     total_load = float(np.sum(loads))
     # Generous limits: each line can carry a sizable share of the total load,
     # scaled down with network size so congestion is still possible.
-    rate = max(40.0, 1.5 * total_load / max(4, n_branches // 2))
+    rate = rate_scale * max(40.0, 1.5 * total_load / max(4, n_branches // 2))
     n_dfacts = int(round(dfacts_fraction * n_branches))
     dfacts_set = set(rng.permutation(n_branches)[:n_dfacts].tolist())
     branches = []

@@ -13,22 +13,93 @@ Notation follows Section III of the paper:
 Because the slack-bus angle is fixed to zero, state estimation and the MTD
 subspace analysis operate on the *reduced* matrices with the slack column
 removed, which are full column rank for a connected network.
+
+Backends
+--------
+The dense builders return ``numpy.ndarray`` and exploit the diagonal
+structure of ``D`` directly (no ``L x L`` materialisation).  For large
+networks each builder has a ``scipy.sparse`` sibling (``*_sparse``)
+returning CSR matrices; consumers that solve against the susceptance
+matrix (:mod:`repro.powerflow.ptdf`, :mod:`repro.powerflow.dc`) switch to
+the sparse backend automatically once the bus count reaches
+:data:`SPARSE_BUS_THRESHOLD`, which keeps the 118- and 300-bus synthetic
+cases tractable without changing the numerics of the small IEEE cases.
 """
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.grid.network import PowerNetwork
+
+#: Bus count at which the solver layers (PTDF, DC power flow) switch from
+#: dense factorisations to the ``scipy.sparse`` backend.  The IEEE 14/30
+#: and 57-bus-sized cases stay dense (their numerics are pinned by the
+#: paper-reproduction tests); the 118- and 300-bus synthetic cases go
+#: sparse.
+SPARSE_BUS_THRESHOLD: int = 100
+
+
+def use_sparse_backend(network: PowerNetwork, sparse: bool | None = None) -> bool:
+    """Decide whether ``network`` should use the sparse backend.
+
+    Parameters
+    ----------
+    network:
+        The network in question.
+    sparse:
+        Explicit override; ``None`` selects automatically by comparing the
+        bus count against :data:`SPARSE_BUS_THRESHOLD`.
+    """
+    if sparse is not None:
+        return bool(sparse)
+    return network.n_buses >= SPARSE_BUS_THRESHOLD
+
+
+def _branch_endpoints(network: PowerNetwork) -> tuple[np.ndarray, np.ndarray]:
+    """From/to bus index vectors of every branch, shape ``(L,)`` each."""
+    from_bus = np.fromiter((b.from_bus for b in network.branches), dtype=int, count=network.n_branches)
+    to_bus = np.fromiter((b.to_bus for b in network.branches), dtype=int, count=network.n_branches)
+    return from_bus, to_bus
+
+
+def _reciprocal_reactances(
+    network: PowerNetwork, reactances: np.ndarray | None = None
+) -> np.ndarray:
+    """The diagonal of ``D`` as a vector ``b = 1/x``, shape ``(L,)``."""
+    x = network.reactances() if reactances is None else np.asarray(reactances, dtype=float)
+    if x.shape[0] != network.n_branches:
+        raise ValueError(
+            f"expected {network.n_branches} reactances, got {x.shape[0]}"
+        )
+    if np.any(x <= 0):
+        raise ValueError("all reactances must be strictly positive")
+    return 1.0 / x
 
 
 def incidence_matrix(network: PowerNetwork) -> np.ndarray:
     """Return the ``N x L`` branch-bus incidence matrix ``A``."""
     A = np.zeros((network.n_buses, network.n_branches))
-    for branch in network.branches:
-        A[branch.from_bus, branch.index] = 1.0
-        A[branch.to_bus, branch.index] = -1.0
+    from_bus, to_bus = _branch_endpoints(network)
+    cols = np.arange(network.n_branches)
+    A[from_bus, cols] = 1.0
+    A[to_bus, cols] = -1.0
     return A
+
+
+def incidence_matrix_sparse(network: PowerNetwork) -> sp.csr_matrix:
+    """Return ``A`` as a ``scipy.sparse`` CSR matrix, shape ``(N, L)``."""
+    from_bus, to_bus = _branch_endpoints(network)
+    cols = np.arange(network.n_branches)
+    rows = np.concatenate([from_bus, to_bus])
+    data = np.concatenate(
+        [np.ones(network.n_branches), -np.ones(network.n_branches)]
+    )
+    return sp.csr_matrix(
+        (data, (rows, np.concatenate([cols, cols]))),
+        shape=(network.n_buses, network.n_branches),
+    )
 
 
 def branch_susceptance_matrix(
@@ -45,14 +116,14 @@ def branch_susceptance_matrix(
         layer to evaluate candidate perturbations without materialising a new
         :class:`PowerNetwork`.
     """
-    x = network.reactances() if reactances is None else np.asarray(reactances, dtype=float)
-    if x.shape[0] != network.n_branches:
-        raise ValueError(
-            f"expected {network.n_branches} reactances, got {x.shape[0]}"
-        )
-    if np.any(x <= 0):
-        raise ValueError("all reactances must be strictly positive")
-    return np.diag(1.0 / x)
+    return np.diag(_reciprocal_reactances(network, reactances))
+
+
+def branch_susceptance_matrix_sparse(
+    network: PowerNetwork, reactances: np.ndarray | None = None
+) -> sp.dia_matrix:
+    """Return ``D`` as a sparse diagonal matrix, shape ``(L, L)``."""
+    return sp.diags(_reciprocal_reactances(network, reactances))
 
 
 def susceptance_matrix(
@@ -60,8 +131,17 @@ def susceptance_matrix(
 ) -> np.ndarray:
     """Return the nodal susceptance matrix ``B = A D Aᵀ`` (``N x N``)."""
     A = incidence_matrix(network)
-    D = branch_susceptance_matrix(network, reactances)
-    return A @ D @ A.T
+    b = _reciprocal_reactances(network, reactances)
+    return (A * b) @ A.T
+
+
+def susceptance_matrix_sparse(
+    network: PowerNetwork, reactances: np.ndarray | None = None
+) -> sp.csr_matrix:
+    """Return ``B = A D Aᵀ`` as a CSR matrix, shape ``(N, N)``."""
+    A = incidence_matrix_sparse(network)
+    D = branch_susceptance_matrix_sparse(network, reactances)
+    return (A @ D @ A.T).tocsr()
 
 
 def reduced_susceptance_matrix(
@@ -71,6 +151,19 @@ def reduced_susceptance_matrix(
     B = susceptance_matrix(network, reactances)
     keep = non_slack_indices(network)
     return B[np.ix_(keep, keep)]
+
+
+def reduced_susceptance_matrix_sparse(
+    network: PowerNetwork, reactances: np.ndarray | None = None
+) -> sp.csc_matrix:
+    """Return the reduced ``B`` as CSC (the layout sparse LU expects).
+
+    Shape ``(N − 1, N − 1)``; row/column order follows
+    :func:`non_slack_indices`.
+    """
+    B = susceptance_matrix_sparse(network, reactances).tocsc()
+    keep = non_slack_indices(network)
+    return B[np.ix_(keep, keep)].tocsc()
 
 
 def non_slack_indices(network: PowerNetwork) -> np.ndarray:
@@ -91,10 +184,27 @@ def measurement_matrix(
     ``2L..2L+N-1`` nodal injections.
     """
     A = incidence_matrix(network)
-    D = branch_susceptance_matrix(network, reactances)
-    flows = D @ A.T
-    injections = A @ D @ A.T
+    b = _reciprocal_reactances(network, reactances)
+    flows = b[:, None] * A.T
+    # Same expression as susceptance_matrix(), so the injection block of H
+    # matches B bit-for-bit.
+    injections = (A * b) @ A.T
     return np.vstack([flows, -flows, injections])
+
+
+def measurement_matrix_sparse(
+    network: PowerNetwork, reactances: np.ndarray | None = None
+) -> sp.csr_matrix:
+    """Return ``H`` as a CSR matrix, shape ``(2L + N, N)``.
+
+    Same row ordering as :func:`measurement_matrix`; useful when only a few
+    rows are consumed or when ``H`` feeds a sparse solver.
+    """
+    A = incidence_matrix_sparse(network)
+    D = branch_susceptance_matrix_sparse(network, reactances)
+    flows = (D @ A.T).tocsr()
+    injections = (A @ flows).tocsr()
+    return sp.vstack([flows, -flows, injections], format="csr")
 
 
 def reduced_measurement_matrix(
@@ -110,6 +220,15 @@ def reduced_measurement_matrix(
     H = measurement_matrix(network, reactances)
     keep = non_slack_indices(network)
     return H[:, keep]
+
+
+def reduced_measurement_matrix_sparse(
+    network: PowerNetwork, reactances: np.ndarray | None = None
+) -> sp.csr_matrix:
+    """Return the reduced ``H`` as CSR, shape ``(2L + N, N − 1)``."""
+    H = measurement_matrix_sparse(network, reactances).tocsc()
+    keep = non_slack_indices(network)
+    return H[:, keep].tocsr()
 
 
 def generator_incidence_matrix(network: PowerNetwork) -> np.ndarray:
@@ -129,18 +248,26 @@ def branch_flow_matrix(
 ) -> np.ndarray:
     """Return the ``L x N`` matrix mapping bus angles to branch flows ``D Aᵀ``."""
     A = incidence_matrix(network)
-    D = branch_susceptance_matrix(network, reactances)
-    return D @ A.T
+    b = _reciprocal_reactances(network, reactances)
+    return b[:, None] * A.T
 
 
 __all__ = [
+    "SPARSE_BUS_THRESHOLD",
+    "use_sparse_backend",
     "incidence_matrix",
+    "incidence_matrix_sparse",
     "branch_susceptance_matrix",
+    "branch_susceptance_matrix_sparse",
     "susceptance_matrix",
+    "susceptance_matrix_sparse",
     "reduced_susceptance_matrix",
+    "reduced_susceptance_matrix_sparse",
     "non_slack_indices",
     "measurement_matrix",
+    "measurement_matrix_sparse",
     "reduced_measurement_matrix",
+    "reduced_measurement_matrix_sparse",
     "generator_incidence_matrix",
     "branch_flow_matrix",
 ]

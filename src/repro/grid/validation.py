@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.grid.matrices import reduced_measurement_matrix
 from repro.grid.network import PowerNetwork
 from repro.utils.linalg import is_full_column_rank
@@ -124,4 +125,82 @@ def _check_dfacts(network: PowerNetwork, report: ValidationReport) -> None:
             )
 
 
-__all__ = ["ValidationReport", "validate_for_operation"]
+def validate_line_ratings(network: PowerNetwork, case_name: str | None = None) -> None:
+    """Fail fast on line ratings that make dispatch trivially infeasible.
+
+    The case registry runs this check when a case registered with
+    ``validate_ratings=True`` is loaded, so misconfigured networks are
+    rejected with an actionable message at construction time instead of
+    surfacing as an opaque "infeasible" status deep inside the OPF solver.
+
+    Checked necessary conditions (each violation is reported):
+
+    * every finite line rating is strictly positive;
+    * the finite ratings of the lines attached to a bus can carry the part
+      of its load that local generation cannot serve (otherwise the load
+      can never be met);
+    * total generation capacity covers the total load.
+
+    Parameters
+    ----------
+    network:
+        The network to check.
+    case_name:
+        Registry name used in the error message; defaults to the network's
+        own name.
+
+    Raises
+    ------
+    ConfigurationError
+        Listing every violated condition.
+    """
+    label = case_name or network.name
+    limits = network.flow_limits_mw()
+    loads = network.loads_mw()
+    problems: list[str] = []
+
+    finite = np.isfinite(limits)
+    nonpositive = np.flatnonzero(finite & (limits <= 0.0))
+    if nonpositive.size:
+        problems.append(
+            f"branches {nonpositive.tolist()} have non-positive flow ratings"
+        )
+
+    attached_capacity = np.zeros(network.n_buses)
+    unlimited = np.zeros(network.n_buses, dtype=bool)
+    for branch in network.branches:
+        limit = limits[branch.index]
+        for bus in (branch.from_bus, branch.to_bus):
+            if np.isfinite(limit):
+                attached_capacity[bus] += max(limit, 0.0)
+            else:
+                unlimited[bus] = True
+    local_generation = np.zeros(network.n_buses)
+    for gen in network.generators:
+        local_generation[gen.bus] += max(gen.p_max_mw, 0.0)
+    for bus in range(network.n_buses):
+        if bus == network.slack_bus or unlimited[bus]:
+            continue
+        # Only the load share that co-located generators cannot serve has
+        # to traverse the attached lines.
+        imported = loads[bus] - local_generation[bus]
+        if imported > attached_capacity[bus] + 1e-9:
+            problems.append(
+                f"bus {bus} needs {imported:.1f} MW of imports, exceeding the "
+                f"{attached_capacity[bus]:.1f} MW combined rating of its attached lines"
+            )
+
+    capacity = network.total_generation_capacity_mw()
+    total_load = network.total_load_mw()
+    if capacity < total_load:
+        problems.append(
+            f"total generation capacity {capacity:.1f} MW is below total load {total_load:.1f} MW"
+        )
+
+    if problems:
+        raise ConfigurationError(
+            f"case {label!r} failed line-rating validation: " + "; ".join(problems)
+        )
+
+
+__all__ = ["ValidationReport", "validate_for_operation", "validate_line_ratings"]

@@ -23,12 +23,17 @@ import numpy as np
 
 from repro.attacks.generator import AttackEnsemble, generate_attack_ensemble
 from repro.estimation.bdd import DEFAULT_FALSE_POSITIVE_RATE, BadDataDetector
+from repro.estimation.linear_model import LinearModel, LinearModelCache
 from repro.estimation.measurement import DEFAULT_NOISE_SIGMA, MeasurementSystem
 from repro.exceptions import ConfigurationError
 from repro.grid.network import PowerNetwork
 from repro.utils.rng import as_generator
 
 DetectionMethod = Literal["analytic", "monte-carlo"]
+DetectionKernel = Literal["batched", "reference"]
+
+#: Bound on the evaluator's per-perturbation memo of analytic results.
+_ANALYTIC_MEMO_MAXSIZE = 64
 
 
 @dataclass(frozen=True)
@@ -144,6 +149,12 @@ class EffectivenessEvaluator:
         self._pre_system = MeasurementSystem.for_network(
             network, reactances=self._base_reactances, noise_sigma=noise_sigma
         )
+        # Analytic detection probabilities depend only on the perturbed
+        # reactances (given this evaluator's fixed ensemble and α), so they
+        # are memoised per perturbation.  The memo lives on the evaluator —
+        # exactly the lifetime of the ensemble it is valid for — and reuses
+        # the library's bounded-LRU cache for its eviction/accounting.
+        self._analytic_memo = LinearModelCache(maxsize=_ANALYTIC_MEMO_MAXSIZE)
         reference_z = self._pre_system.noiseless_measurements(self._angles)
         self._ensemble = generate_attack_ensemble(
             measurement_matrix=self._pre_system.matrix(),
@@ -177,13 +188,15 @@ class EffectivenessEvaluator:
         n_noise_trials: int = 1000,
         operating_angles_rad: np.ndarray | None = None,
         seed: int | np.random.Generator | None = 0,
+        kernel: DetectionKernel = "batched",
+        model_cache: LinearModelCache | None = None,
     ) -> EffectivenessResult:
         """Evaluate the detection statistics of one candidate perturbation.
 
         Parameters
         ----------
         perturbed_reactances:
-            Post-perturbation branch reactances ``x'``.
+            Post-perturbation branch reactances ``x'``, shape ``(L,)``.
         method:
             ``"analytic"`` (noncentral-χ², fast, default) or
             ``"monte-carlo"`` (the paper's procedure: ``n_noise_trials``
@@ -196,27 +209,59 @@ class EffectivenessEvaluator:
             method does not depend on the true state.)
         seed:
             Seed for the Monte-Carlo noise streams.
+        kernel:
+            ``"batched"`` (default) evaluates the whole ensemble with
+            single BLAS calls and memoises analytic results per
+            perturbation; ``"reference"`` runs the original per-attack
+            Python loop — kept as the validation/benchmark baseline, it
+            agrees with the batched kernel to floating-point accuracy.
+        model_cache:
+            Optional :class:`~repro.estimation.linear_model.
+            LinearModelCache` from which the perturbation's factorized
+            measurement model is served (and into which a freshly built one
+            is stored).  The batched engine passes one cache per trial
+            batch so trials sharing a (case, perturbation) pair factorize
+            once.  Reuse is bit-identical to rebuilding.
         """
-        post_system = MeasurementSystem.for_network(
-            self._network, reactances=perturbed_reactances, noise_sigma=self._noise_sigma
-        )
-        detector = BadDataDetector(post_system, false_positive_rate=self._alpha)
-
-        if method == "analytic":
-            probabilities = np.array(
-                [detector.detection_probability(attack) for attack in self._ensemble.attacks]
+        x = np.asarray(perturbed_reactances, dtype=float).ravel()
+        if kernel not in ("batched", "reference"):
+            raise ConfigurationError(
+                f"unknown kernel {kernel!r}; use 'batched' or 'reference'"
             )
+        if method == "analytic":
+            if kernel == "batched":
+                # Memo-first: a hit skips building the measurement system
+                # and its factorization entirely, which is the dominant
+                # cost when trials share a perturbation.  A copy is handed
+                # out so callers can never corrupt the memo.
+                probabilities = self._analytic_memo.get_or_build(
+                    x.tobytes(),
+                    lambda: self._build_detector(x, model_cache).detection_probabilities(
+                        self._ensemble.attacks
+                    ),
+                ).copy()
+            else:
+                detector = self._build_detector(x, None)
+                probabilities = np.array(
+                    [detector.detection_probability(attack) for attack in self._ensemble.attacks]
+                )
         elif method == "monte-carlo":
+            detector = self._build_detector(x, model_cache if kernel == "batched" else None)
             rng = as_generator(seed)
             angles = self._angles if operating_angles_rad is None else np.asarray(operating_angles_rad, dtype=float)
-            probabilities = np.array(
-                [
-                    detector.detection_probability_monte_carlo(
-                        attack, angles, n_trials=n_noise_trials, rng=rng
-                    )
-                    for attack in self._ensemble.attacks
-                ]
-            )
+            if kernel == "batched":
+                probabilities = detector.detection_probabilities_monte_carlo(
+                    self._ensemble.attacks, angles, n_trials=n_noise_trials, rng=rng
+                )
+            else:
+                probabilities = np.array(
+                    [
+                        detector.detection_probability_monte_carlo(
+                            attack, angles, n_trials=n_noise_trials, rng=rng
+                        )
+                        for attack in self._ensemble.attacks
+                    ]
+                )
         else:
             raise ConfigurationError(
                 f"unknown detection method {method!r}; use 'analytic' or 'monte-carlo'"
@@ -227,9 +272,29 @@ class EffectivenessEvaluator:
             method=method,
         )
 
+    def _build_detector(
+        self, reactances: np.ndarray, model_cache: LinearModelCache | None
+    ) -> BadDataDetector:
+        """Detector for one perturbation, factorized via ``model_cache`` if given."""
+        post_system = MeasurementSystem.for_network(
+            self._network, reactances=reactances, noise_sigma=self._noise_sigma
+        )
+        model: LinearModel | None = None
+        if model_cache is not None:
+            model = model_cache.get_or_build(
+                (reactances.tobytes(), self._noise_sigma),
+                lambda: LinearModel(post_system.matrix(), post_system.weights()),
+            )
+        return BadDataDetector(post_system, false_positive_rate=self._alpha, model=model)
+
     def evaluate_perturbation(self, perturbation, **kwargs) -> EffectivenessResult:
         """Evaluate a :class:`~repro.mtd.perturbation.ReactancePerturbation`."""
         return self.evaluate(perturbation.perturbed_reactances, **kwargs)
 
 
-__all__ = ["EffectivenessEvaluator", "EffectivenessResult", "DetectionMethod"]
+__all__ = [
+    "EffectivenessEvaluator",
+    "EffectivenessResult",
+    "DetectionMethod",
+    "DetectionKernel",
+]

@@ -11,12 +11,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.sparse.linalg
 
 from repro.exceptions import PowerFlowError
 from repro.grid.matrices import (
     branch_flow_matrix,
     non_slack_indices,
     reduced_susceptance_matrix,
+    reduced_susceptance_matrix_sparse,
+    use_sparse_backend,
 )
 from repro.grid.network import PowerNetwork
 
@@ -70,6 +73,7 @@ def solve_dc_power_flow(
     generation_mw: np.ndarray | None = None,
     reactances: np.ndarray | None = None,
     balance_at_slack: bool = True,
+    sparse: bool | None = None,
 ) -> DCPowerFlowResult:
     """Solve the DC power flow for ``network``.
 
@@ -94,6 +98,12 @@ def solve_dc_power_flow(
         slack bus, mirroring the standard DC power-flow convention.  When
         false, an imbalance larger than 1e-6 of the total load raises
         :class:`PowerFlowError`.
+    sparse:
+        Backend selection: ``None`` (default) picks the ``scipy.sparse`` LU
+        path automatically once the bus count reaches
+        :data:`~repro.grid.matrices.SPARSE_BUS_THRESHOLD`; ``True`` /
+        ``False`` force it (e.g. to cross-check the backends on a large
+        network).
 
     Returns
     -------
@@ -115,13 +125,25 @@ def solve_dc_power_flow(
             )
 
     keep = non_slack_indices(network)
-    B_red = reduced_susceptance_matrix(network, reactances)
-    try:
-        theta_red = np.linalg.solve(B_red, injections[keep])
-    except np.linalg.LinAlgError as exc:
-        raise PowerFlowError(
-            "susceptance matrix is singular; the network appears disconnected"
-        ) from exc
+    if use_sparse_backend(network, sparse):
+        # Large networks route through the scipy.sparse LU backend (see
+        # repro.grid.matrices.SPARSE_BUS_THRESHOLD); small cases keep the
+        # dense solve whose numerics the paper-reproduction tests pin.
+        B_red = reduced_susceptance_matrix_sparse(network, reactances)
+        try:
+            theta_red = scipy.sparse.linalg.splu(B_red).solve(injections[keep])
+        except RuntimeError as exc:
+            raise PowerFlowError(
+                "susceptance matrix is singular; the network appears disconnected"
+            ) from exc
+    else:
+        B_red = reduced_susceptance_matrix(network, reactances)
+        try:
+            theta_red = np.linalg.solve(B_red, injections[keep])
+        except np.linalg.LinAlgError as exc:
+            raise PowerFlowError(
+                "susceptance matrix is singular; the network appears disconnected"
+            ) from exc
 
     angles = np.zeros(network.n_buses)
     angles[keep] = theta_red

@@ -10,35 +10,64 @@ tests.
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse.linalg
 
 from repro.exceptions import PowerFlowError
 from repro.grid.matrices import (
     branch_flow_matrix,
     non_slack_indices,
     reduced_susceptance_matrix,
+    reduced_susceptance_matrix_sparse,
+    use_sparse_backend,
 )
 from repro.grid.network import PowerNetwork
 
 
 def ptdf_matrix(
-    network: PowerNetwork, reactances: np.ndarray | None = None
+    network: PowerNetwork,
+    reactances: np.ndarray | None = None,
+    sparse: bool | None = None,
 ) -> np.ndarray:
     """Return the ``L x N`` PTDF matrix with respect to the slack bus.
 
     Column ``i`` gives the change in every branch flow per 1 MW injected at
     bus ``i`` and withdrawn at the slack bus.  The slack column is zero.
+
+    Parameters
+    ----------
+    network:
+        The network to compute distribution factors for.
+    reactances:
+        Optional branch-reactance override, shape ``(L,)``.
+    sparse:
+        Backend selection: ``None`` (default) picks the ``scipy.sparse``
+        LU path automatically once the bus count reaches
+        :data:`~repro.grid.matrices.SPARSE_BUS_THRESHOLD`; ``True`` /
+        ``False`` force it.  Both backends agree to solver accuracy.
     """
     keep = non_slack_indices(network)
-    B_red = reduced_susceptance_matrix(network, reactances)
-    try:
-        B_inv = np.linalg.inv(B_red)
-    except np.linalg.LinAlgError as exc:
-        raise PowerFlowError(
-            "susceptance matrix is singular; cannot compute PTDF"
-        ) from exc
     flow_map = branch_flow_matrix(network, reactances)  # L x N
     ptdf = np.zeros((network.n_branches, network.n_buses))
-    ptdf[:, keep] = flow_map[:, keep] @ B_inv
+    if use_sparse_backend(network, sparse):
+        B_red = reduced_susceptance_matrix_sparse(network, reactances)
+        try:
+            lu = scipy.sparse.linalg.splu(B_red)
+        except RuntimeError as exc:
+            raise PowerFlowError(
+                "susceptance matrix is singular; cannot compute PTDF"
+            ) from exc
+        # B is symmetric, so solving Bᵀ X = flow_mapᵀ gives X = B⁻¹flow_mapᵀ
+        # and the PTDF block is Xᵀ = flow_map B⁻¹ without forming B⁻¹.
+        ptdf[:, keep] = lu.solve(np.ascontiguousarray(flow_map[:, keep].T)).T
+    else:
+        B_red = reduced_susceptance_matrix(network, reactances)
+        try:
+            B_inv = np.linalg.inv(B_red)
+        except np.linalg.LinAlgError as exc:
+            raise PowerFlowError(
+                "susceptance matrix is singular; cannot compute PTDF"
+            ) from exc
+        ptdf[:, keep] = flow_map[:, keep] @ B_inv
     return ptdf
 
 

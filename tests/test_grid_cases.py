@@ -159,3 +159,117 @@ class TestSyntheticCase:
     def test_invalid_capacity_margin_rejected(self):
         with pytest.raises(Exception):
             synthetic_case(n_buses=6, capacity_margin=0.9)
+
+
+class TestSynthetic300:
+    def test_registered_with_dispatchable_defaults(self):
+        assert "synthetic300" in available_cases()
+        net = load_case("synthetic300")
+        assert net.n_buses == 300
+        assert net.n_generators == 75
+        # The registry defaults must yield a feasible nominal dispatch —
+        # this is the configuration the scale suite runs.
+        from repro.opf.dc_opf import solve_dc_opf
+
+        result = solve_dc_opf(net)
+        assert result.success
+
+    def test_deterministic(self):
+        a = load_case("synthetic300")
+        b = load_case("synthetic300")
+        np.testing.assert_array_equal(a.reactances(), b.reactances())
+        np.testing.assert_array_equal(a.loads_mw(), b.loads_mw())
+
+    def test_rate_scale_widens_ratings(self):
+        narrow = load_case("synthetic300", rate_scale=2.0)
+        wide = load_case("synthetic300", rate_scale=4.0)
+        np.testing.assert_allclose(
+            wide.flow_limits_mw(), 2.0 * narrow.flow_limits_mw()
+        )
+
+    def test_invalid_rate_scale_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            load_case("synthetic300", rate_scale=0.0)
+
+
+class TestLineRatingValidation:
+    @staticmethod
+    def _overloaded_network():
+        """A 3-bus network whose bus-2 load exceeds its attached ratings."""
+        from repro.grid.components import Branch, Bus, Generator
+
+        buses = (
+            Bus(index=0, load_mw=0.0, is_slack=True),
+            Bus(index=1, load_mw=10.0),
+            Bus(index=2, load_mw=100.0),
+        )
+        branches = (
+            Branch(index=0, from_bus=0, to_bus=1, reactance=0.1, rate_mw=50.0),
+            Branch(index=1, from_bus=1, to_bus=2, reactance=0.1, rate_mw=20.0),
+        )
+        generators = (Generator(index=0, bus=0, p_max_mw=200.0),)
+        return PowerNetwork.from_components(
+            buses=buses, branches=branches, generators=generators, name="overloaded"
+        )
+
+    def test_validate_line_ratings_flags_starved_bus(self):
+        from repro.exceptions import ConfigurationError
+        from repro.grid.validation import validate_line_ratings
+
+        with pytest.raises(ConfigurationError, match="bus 2"):
+            validate_line_ratings(self._overloaded_network())
+
+    def test_local_generation_offsets_line_ratings(self):
+        """A bus served by its own generator needs no line-import capacity."""
+        from repro.grid.components import Branch, Bus, Generator
+        from repro.grid.validation import validate_line_ratings
+
+        buses = (
+            Bus(index=0, load_mw=0.0, is_slack=True),
+            Bus(index=1, load_mw=10.0),
+            Bus(index=2, load_mw=100.0),
+        )
+        branches = (
+            Branch(index=0, from_bus=0, to_bus=1, reactance=0.1, rate_mw=50.0),
+            Branch(index=1, from_bus=1, to_bus=2, reactance=0.1, rate_mw=20.0),
+        )
+        generators = (
+            Generator(index=0, bus=0, p_max_mw=100.0),
+            Generator(index=1, bus=2, p_max_mw=150.0),  # serves bus 2 locally
+        )
+        net = PowerNetwork.from_components(
+            buses=buses, branches=branches, generators=generators, name="self-served"
+        )
+        validate_line_ratings(net)  # must not raise
+
+    def test_validate_line_ratings_accepts_sane_networks(self, net14, net30):
+        from repro.grid.validation import validate_line_ratings
+
+        validate_line_ratings(net14)
+        validate_line_ratings(net30)
+        validate_line_ratings(load_case("synthetic57"))
+        validate_line_ratings(load_case("synthetic118"))
+
+    def test_registry_validates_at_load_time(self):
+        from repro.exceptions import ConfigurationError
+        from repro.grid.cases import registry as registry_module
+
+        try:
+            register_case(
+                "bad-ratings-case", lambda **kw: self._overloaded_network(),
+                overwrite=True, validate_ratings=True,
+            )
+            with pytest.raises(ConfigurationError, match="bad-ratings-case"):
+                load_case("bad-ratings-case")
+            # Without the flag the same factory loads untouched.
+            register_case(
+                "bad-ratings-case", lambda **kw: self._overloaded_network(),
+                overwrite=True, validate_ratings=False,
+            )
+            assert load_case("bad-ratings-case").n_buses == 3
+        finally:
+            # Keep the process-global registry pristine for other tests.
+            registry_module._REGISTRY.pop("bad-ratings-case", None)
+            registry_module._VALIDATE_RATINGS.discard("bad-ratings-case")

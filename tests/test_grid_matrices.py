@@ -6,15 +6,23 @@ import numpy as np
 import pytest
 
 from repro.grid.matrices import (
+    SPARSE_BUS_THRESHOLD,
     branch_flow_matrix,
     branch_susceptance_matrix,
+    branch_susceptance_matrix_sparse,
     generator_incidence_matrix,
     incidence_matrix,
+    incidence_matrix_sparse,
     measurement_matrix,
+    measurement_matrix_sparse,
     non_slack_indices,
     reduced_measurement_matrix,
+    reduced_measurement_matrix_sparse,
     reduced_susceptance_matrix,
+    reduced_susceptance_matrix_sparse,
     susceptance_matrix,
+    susceptance_matrix_sparse,
+    use_sparse_backend,
 )
 from repro.utils.linalg import is_full_column_rank
 
@@ -115,3 +123,60 @@ class TestOtherMatrices:
         for branch in net4.branches:
             expected = (theta[branch.from_bus] - theta[branch.to_bus]) / branch.reactance
             assert flows[branch.index] == pytest.approx(expected)
+
+
+class TestSparseBackend:
+    """The scipy.sparse builders must agree with their dense siblings."""
+
+    def test_threshold_selection(self, net14, small_synthetic):
+        assert not use_sparse_backend(net14)
+        assert not use_sparse_backend(small_synthetic)
+        assert use_sparse_backend(net14, sparse=True)
+        big = type("Net", (), {"n_buses": SPARSE_BUS_THRESHOLD})()
+        assert use_sparse_backend(big)
+
+    def test_incidence_agrees(self, net14):
+        np.testing.assert_array_equal(
+            incidence_matrix_sparse(net14).toarray(), incidence_matrix(net14)
+        )
+
+    def test_branch_susceptance_agrees(self, net14):
+        np.testing.assert_array_equal(
+            branch_susceptance_matrix_sparse(net14).toarray(),
+            branch_susceptance_matrix(net14),
+        )
+
+    def test_susceptance_agrees(self, net14):
+        np.testing.assert_allclose(
+            susceptance_matrix_sparse(net14).toarray(),
+            susceptance_matrix(net14),
+            atol=1e-12,
+        )
+
+    def test_reduced_susceptance_agrees(self, net14):
+        np.testing.assert_allclose(
+            reduced_susceptance_matrix_sparse(net14).toarray(),
+            reduced_susceptance_matrix(net14),
+            atol=1e-12,
+        )
+
+    def test_measurement_matrix_agrees(self, net14):
+        np.testing.assert_allclose(
+            measurement_matrix_sparse(net14).toarray(),
+            measurement_matrix(net14),
+            atol=1e-12,
+        )
+
+    def test_reduced_measurement_matrix_agrees_with_override(self, net14, rng):
+        x = net14.reactances() * rng.uniform(0.8, 1.2, net14.n_branches)
+        np.testing.assert_allclose(
+            reduced_measurement_matrix_sparse(net14, x).toarray(),
+            reduced_measurement_matrix(net14, x),
+            atol=1e-12,
+        )
+
+    def test_sparse_rejects_bad_reactances(self, net14):
+        with pytest.raises(ValueError):
+            measurement_matrix_sparse(net14, np.zeros(net14.n_branches))
+        with pytest.raises(ValueError):
+            reduced_susceptance_matrix_sparse(net14, np.ones(3))

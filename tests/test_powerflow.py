@@ -126,3 +126,46 @@ class TestPTDF:
     def test_injection_length_check(self, net14):
         with pytest.raises(PowerFlowError):
             flows_from_injections(net14, np.zeros(3))
+
+
+class TestSparseSolvers:
+    """Dense and sparse solver backends must agree."""
+
+    def test_ptdf_backends_agree(self, net14):
+        dense = ptdf_matrix(net14, sparse=False)
+        sparse = ptdf_matrix(net14, sparse=True)
+        np.testing.assert_allclose(dense, sparse, atol=1e-10)
+
+    def test_ptdf_backends_agree_with_override(self, net14, rng):
+        x = net14.reactances() * rng.uniform(0.8, 1.2, net14.n_branches)
+        np.testing.assert_allclose(
+            ptdf_matrix(net14, x, sparse=False),
+            ptdf_matrix(net14, x, sparse=True),
+            atol=1e-10,
+        )
+
+    def test_large_synthetic_uses_sparse_automatically(self):
+        from repro.grid.cases import load_case
+        from repro.grid.matrices import use_sparse_backend
+
+        net = load_case("synthetic118")
+        assert use_sparse_backend(net)
+        # Cross-check the automatically-sparse DC solve against the PTDF route.
+        result = solve_dc_power_flow(net, injections_mw=net.loads_mw() * 0 + 0.0)
+        np.testing.assert_allclose(result.flows_mw, np.zeros(net.n_branches), atol=1e-9)
+        injections = -net.loads_mw()
+        injections[net.slack_bus] = net.total_load_mw()
+        pf = solve_dc_power_flow(net, injections_mw=injections, balance_at_slack=False)
+        via_ptdf = ptdf_matrix(net) @ pf.injections_mw
+        np.testing.assert_allclose(pf.flows_mw, via_ptdf, atol=1e-6)
+
+    def test_dc_solver_backends_agree_on_large_case(self):
+        from repro.grid.cases import load_case
+
+        net = load_case("synthetic118")
+        injections = -net.loads_mw()
+        injections[net.slack_bus] = net.total_load_mw()
+        dense = solve_dc_power_flow(net, injections_mw=injections, sparse=False)
+        sparse = solve_dc_power_flow(net, injections_mw=injections, sparse=True)
+        np.testing.assert_allclose(dense.angles_rad, sparse.angles_rad, atol=1e-10)
+        np.testing.assert_allclose(dense.flows_mw, sparse.flows_mw, atol=1e-7)
