@@ -21,7 +21,7 @@ from repro.mtd.effectiveness import EffectivenessEvaluator
 from repro.mtd.tradeoff import compute_tradeoff_curve
 from repro.opf.reactance_opf import solve_reactance_opf
 
-from _bench_utils import gamma_grid, print_banner
+from _bench_utils import emit_bench_json, gamma_grid, print_banner, time_call
 
 #: Hour index of 6 PM in the daily profile (hour 0 = 1 AM).
 SIX_PM = 17
@@ -59,8 +59,8 @@ def compute_evening_tradeoff(network, scale):
 
 def bench_fig9_tradeoff(benchmark, net14, scale):
     """Regenerate the Fig. 9 curve and time the sweep."""
-    curve = benchmark.pedantic(
-        compute_evening_tradeoff, args=(net14, scale), rounds=1, iterations=1
+    curve, sweep_seconds = benchmark.pedantic(
+        time_call, args=(compute_evening_tradeoff, net14, scale), rounds=1, iterations=1
     )
 
     print_banner(
@@ -83,6 +83,18 @@ def bench_fig9_tradeoff(benchmark, net14, scale):
 
     costs = curve.costs_percent()
     etas = curve.eta_series(0.9)
+    emit_bench_json(
+        "fig9",
+        {
+            "figure": "fig9",
+            "scale": scale.name,
+            "n_attacks": scale.n_attacks,
+            "n_gamma_points": len(curve),
+            "sweep_seconds": sweep_seconds,
+            "max_cost_increase_percent": float(costs[-1]),
+            "max_eta_0.9": float(etas[-1]),
+        },
+    )
     assert np.all(costs >= -1e-9)
     # Cost grows along the sweep and the most effective designs are not free.
     assert costs[-1] >= costs[0]

@@ -20,7 +20,7 @@ from repro.estimation.measurement import MeasurementSystem
 from repro.estimation.state_estimator import WLSStateEstimator
 from repro.mtd.perturbation import ReactancePerturbation
 
-from _bench_utils import print_banner
+from _bench_utils import emit_bench_json, print_banner, time_call
 
 #: Relative reactance change of the motivating example.
 ETA = 0.2
@@ -53,7 +53,9 @@ def compute_residual_table() -> dict[str, list[float]]:
 
 def bench_table1_residuals(benchmark):
     """Regenerate Table I and time the residual computation."""
-    table = benchmark.pedantic(compute_residual_table, rounds=3, iterations=1)
+    table, table_seconds = benchmark.pedantic(
+        time_call, args=(compute_residual_table,), rounds=3, iterations=1
+    )
 
     print_banner("Table I — BDD residuals under single-line MTD perturbations (4-bus)")
     rows = [
@@ -63,6 +65,16 @@ def bench_table1_residuals(benchmark):
     print(format_table(["", "r'(1)", "r'(2)", "r'(3)", "r'(4)"], rows))
     print("Expected pattern: each attack is missed (residual 0) by exactly two "
           "of the four perturbations, as in the paper.")
+
+    emit_bench_json(
+        "table1",
+        {
+            "table": "table1",
+            "n_attacks": len(ATTACK_BIASES),
+            "n_perturbations": len(next(iter(table.values()))),
+            "table_seconds": table_seconds,
+        },
+    )
 
     # Sanity: the zero / non-zero pattern of the paper must hold.
     attack1, attack2 = table["Attack 1"], table["Attack 2"]

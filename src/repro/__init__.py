@@ -95,8 +95,17 @@ from repro.engine import (
     run_trial_batch,
     scenario_suite,
 )
+from repro.campaign import (
+    CampaignDefinition,
+    CampaignOrchestrator,
+    CampaignStore,
+    available_campaigns,
+    campaign_from_suite,
+    plan_campaign,
+    run_campaign,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # exceptions
@@ -179,5 +188,13 @@ __all__ = [
     "available_scenarios",
     "scenario_suite",
     "paper_scenarios",
+    # campaign orchestration
+    "CampaignDefinition",
+    "CampaignOrchestrator",
+    "CampaignStore",
+    "available_campaigns",
+    "campaign_from_suite",
+    "plan_campaign",
+    "run_campaign",
     "__version__",
 ]

@@ -1,0 +1,11 @@
+"""``python -m repro`` — the campaign command line.
+
+See :mod:`repro.campaign.cli` for the available subcommands.
+"""
+
+import sys
+
+from repro.campaign.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

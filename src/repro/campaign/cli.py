@@ -1,0 +1,269 @@
+"""The ``python -m repro`` command line.
+
+One-command reproducible campaigns::
+
+    python -m repro suites list
+    python -m repro suites run tables --store tables.campaign --trials 2
+    python -m repro campaign run fig7_campaign.json --store fig7.campaign
+    python -m repro campaign status --store fig7.campaign
+    python -m repro campaign resume --store fig7.campaign
+    python -m repro campaign query --store fig7.campaign \
+        --metric "eta(0.9)" --group-by mtd.max_relative_change --csv out.csv
+
+``campaign run`` takes a JSON campaign definition
+(:meth:`~repro.campaign.definition.CampaignDefinition.to_json`); budget
+knobs (``--trials``, ``--attacks``, arbitrary ``--set path=value``) layer
+overrides on top of it.  ``resume`` reloads the definition from the store's
+manifest, so an interrupted campaign continues with exactly the plan it
+started with — only missing shards execute, verified by spec hash.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.campaign.definition import CampaignDefinition
+from repro.campaign.orchestrator import CampaignOrchestrator, CampaignReport
+from repro.campaign.query import export_csv, query_results, summarize_groups
+from repro.campaign.store import CampaignStore
+from repro.campaign.suites import available_campaigns, campaign_from_suite
+from repro.exceptions import ReproError
+
+
+def _parse_value(text: str) -> Any:
+    """Parse a CLI value: JSON when possible, bare string otherwise."""
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_assignments(pairs: Sequence[str], option: str) -> dict[str, Any]:
+    """Parse repeated ``path=value`` options into an override mapping."""
+    parsed: dict[str, Any] = {}
+    for pair in pairs:
+        path, sep, value = pair.partition("=")
+        if not sep or not path:
+            raise ReproError(f"{option} expects path=value, got {pair!r}")
+        parsed[path] = _parse_value(value)
+    return parsed
+
+
+def _budget_overrides(args: argparse.Namespace) -> dict[str, Any]:
+    overrides = _parse_assignments(args.set or (), "--set")
+    if args.trials is not None:
+        overrides.setdefault("n_trials", args.trials)
+    if args.attacks is not None:
+        overrides.setdefault("attack.n_attacks", args.attacks)
+    return overrides
+
+
+def _orchestrator(args: argparse.Namespace, create: bool = True) -> CampaignOrchestrator:
+    return CampaignOrchestrator(
+        CampaignStore(args.store, create=create),
+        n_workers=args.workers,
+        batch_size=args.batch_size,
+        cache=args.cache,
+    )
+
+
+def _print_report(report: CampaignReport, store: str) -> None:
+    print(
+        f"campaign plan {report.plan_hash[:12]}…: {report.n_points} points, "
+        f"{report.n_items} distinct scenarios"
+    )
+    print(
+        f"  executed {len(report.executed)}, replayed {len(report.from_cache)} "
+        f"from cache, skipped {len(report.skipped)} already stored "
+        f"({len(report.shards_run)} shard(s), {report.elapsed_seconds:.2f}s)"
+    )
+    state = "complete" if report.complete else "incomplete — run resume to continue"
+    print(f"  store {store}: {state}")
+
+
+# ----------------------------------------------------------------------
+# subcommand handlers
+# ----------------------------------------------------------------------
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    definition = CampaignDefinition.from_json(Path(args.definition).read_text())
+    overrides = _budget_overrides(args)
+    if overrides:
+        definition = definition.with_overrides(overrides)
+    if args.shard_size is not None:
+        definition = dataclasses.replace(definition, shard_size=args.shard_size)
+    report = _orchestrator(args).run(definition, shard_limit=args.shard_limit)
+    _print_report(report, args.store)
+    return 0 if report.complete or args.shard_limit is not None else 1
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    report = _orchestrator(args, create=False).resume(shard_limit=args.shard_limit)
+    _print_report(report, args.store)
+    return 0 if report.complete or args.shard_limit is not None else 1
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    status = CampaignOrchestrator(CampaignStore(args.store, create=False)).status()
+    print(
+        f"campaign {status.name!r} (plan {status.plan_hash[:12]}…): "
+        f"{status.n_completed}/{status.n_items} scenarios complete, "
+        f"{status.n_missing} missing"
+    )
+    rows = [
+        [shard.index, shard.n_points, shard.n_completed,
+         "done" if shard.complete else "missing"]
+        for shard in status.shards
+    ]
+    print(format_table(["shard", "points", "completed", "state"], rows))
+    return 0 if status.complete else 1
+
+
+def _cmd_campaign_query(args: argparse.Namespace) -> int:
+    store = CampaignStore(args.store, create=False)
+    where = _parse_assignments(args.where or (), "--where")
+    results = query_results(store, where=where or None, tags=args.tag or None)
+    if not results:
+        print("no stored scenarios match the query")
+        return 1
+    group_by = [p for p in (args.group_by or "").split(",") if p]
+    groups = summarize_groups(results, metric=args.metric, group_by=group_by)
+    key_columns = group_by if group_by else ["scenario"]
+    rows = [
+        list(group.key)
+        + [group.n_scenarios, group.summary.n_trials,
+           f"{group.summary.mean:.6g}", f"{group.summary.std:.6g}",
+           f"{group.summary.confidence_halfwidth:.6g}",
+           f"{group.summary.median:.6g}"]
+        for group in groups
+    ]
+    metric_label = args.metric or "spec metric"
+    print(
+        format_table(
+            key_columns + ["scenarios", "trials", "mean", "std", "ci95", "median"],
+            rows,
+            title=f"{len(results)} scenario(s); metric: {metric_label}",
+        )
+    )
+    if args.csv:
+        fields = [p for p in (args.fields or args.group_by or "").split(",") if p]
+        path = export_csv(args.csv, results, metric=args.metric, fields=fields)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_suites_list(args: argparse.Namespace) -> int:
+    print("registered campaigns (scenario suites):")
+    for name in available_campaigns():
+        definition = campaign_from_suite(name)
+        print(f"  {name:<12} {len(definition.points)} scenario point(s)")
+    return 0
+
+
+def _cmd_suites_run(args: argparse.Namespace) -> int:
+    definition = campaign_from_suite(
+        args.name, overrides=_budget_overrides(args), shard_size=args.shard_size
+    )
+    report = _orchestrator(args).run(definition, shard_limit=args.shard_limit)
+    _print_report(report, args.store)
+    return 0 if report.complete or args.shard_limit is not None else 1
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def _add_execution_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", required=True, help="campaign store directory")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="shard-level worker processes (default: 1)")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="trial-batch size forwarded to the engines")
+    parser.add_argument("--cache", default=None,
+                        help="ResultCache directory to interop with")
+    parser.add_argument("--shard-limit", type=int, default=None,
+                        help="run at most this many incomplete shards (checkpointing)")
+
+
+def _add_budget_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trials", type=int, default=None,
+                        help="override n_trials of every scenario point")
+    parser.add_argument("--attacks", type=int, default=None,
+                        help="override attack.n_attacks of every scenario point")
+    parser.add_argument("--set", action="append", metavar="PATH=VALUE",
+                        help="extra dotted-path override (repeatable)")
+    parser.add_argument("--shard-size", type=int, default=None,
+                        help="scenario points per shard")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Campaign orchestration for the DSN'18 MTD reproduction.",
+    )
+    from repro import __version__
+
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    campaign = commands.add_parser("campaign", help="run/inspect persistent campaigns")
+    actions = campaign.add_subparsers(dest="action", required=True)
+
+    run = actions.add_parser("run", help="run a campaign definition (JSON file)")
+    run.add_argument("definition", help="path to a CampaignDefinition JSON file")
+    _add_execution_options(run)
+    _add_budget_options(run)
+    run.set_defaults(handler=_cmd_campaign_run)
+
+    resume = actions.add_parser("resume", help="continue the store's campaign")
+    _add_execution_options(resume)
+    resume.set_defaults(handler=_cmd_campaign_resume)
+
+    status = actions.add_parser("status", help="completion state of a store")
+    status.add_argument("--store", required=True, help="campaign store directory")
+    status.set_defaults(handler=_cmd_campaign_status)
+
+    query = actions.add_parser("query", help="filter/aggregate stored results")
+    query.add_argument("--store", required=True, help="campaign store directory")
+    query.add_argument("--where", action="append", metavar="PATH=VALUE",
+                       help="dotted spec-field equality filter (repeatable)")
+    query.add_argument("--tag", action="append", help="require a scenario tag (repeatable)")
+    query.add_argument("--metric", default=None,
+                       help="metric to summarise (default: each spec's headline metric)")
+    query.add_argument("--group-by", default=None, metavar="PATH[,PATH...]",
+                       help="pool trials by dotted spec field(s)")
+    query.add_argument("--csv", default=None, help="also export per-scenario rows to CSV")
+    query.add_argument("--fields", default=None, metavar="PATH[,PATH...]",
+                       help="extra spec fields for the CSV export")
+    query.set_defaults(handler=_cmd_campaign_query)
+
+    suites = commands.add_parser("suites", help="canonical suites as campaigns")
+    suite_actions = suites.add_subparsers(dest="action", required=True)
+
+    suites_list = suite_actions.add_parser("list", help="list registered campaigns")
+    suites_list.set_defaults(handler=_cmd_suites_list)
+
+    suites_run = suite_actions.add_parser("run", help="run a suite as a campaign")
+    suites_run.add_argument("name", help="suite name (see: repro suites list)")
+    _add_execution_options(suites_run)
+    _add_budget_options(suites_run)
+    suites_run.set_defaults(handler=_cmd_suites_run)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+__all__ = ["build_parser", "main"]

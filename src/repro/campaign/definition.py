@@ -1,0 +1,209 @@
+"""Declarative campaign definitions.
+
+A :class:`CampaignDefinition` names a whole *family* of Monte-Carlo
+scenarios the way a :class:`~repro.engine.spec.ScenarioSpec` names one
+experiment: a base spec, one or more parameter grids swept over it, any
+number of explicit extra points (how the canonical paper suites are wrapped
+into campaigns), and campaign-wide overrides such as reduced trial budgets.
+Definitions are frozen value objects that round-trip losslessly through
+dict/JSON — a campaign can live in version control as a single ``.json``
+file and be handed to ``python -m repro campaign run`` — and expose a
+stable content hash over everything that affects the expanded work plan.
+
+Labelling fields (``description``, ``tags``) are excluded from the hash,
+mirroring the spec convention, so annotating a campaign never invalidates
+its stored results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Mapping, Sequence
+
+from repro.engine.spec import ScenarioSpec
+from repro.exceptions import ConfigurationError
+
+#: Bumped whenever plan expansion or sharding semantics change in a way
+#: that invalidates previously stored campaigns (participates in the
+#: definition content hash and the plan hash).
+CAMPAIGN_SCHEMA_VERSION = 1
+
+#: Default number of scenario points per shard (see
+#: :mod:`repro.campaign.plan`): small enough that an interrupted campaign
+#: loses little work, large enough that per-shard dispatch overhead stays
+#: negligible next to the trials themselves.
+DEFAULT_SHARD_SIZE = 8
+
+#: Definition fields that label a campaign without affecting its plan.
+_LABEL_FIELDS = ("description", "tags")
+
+
+def _freeze_grid(grid: Any) -> tuple[tuple[str, tuple[Any, ...]], ...]:
+    """Normalise one grid block to an ordered tuple of (path, values)."""
+    if isinstance(grid, Mapping):
+        items = list(grid.items())
+    else:
+        items = [(path, values) for path, values in grid]
+    frozen = []
+    for path, values in items:
+        if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
+            raise ConfigurationError(
+                f"grid values for {path!r} must be a sequence, got {values!r}"
+            )
+        # An empty axis is allowed and expands to zero points, matching the
+        # historical expand_grid semantics for programmatically built grids.
+        frozen.append((str(path), tuple(values)))
+    return tuple(frozen)
+
+
+@dataclass(frozen=True)
+class CampaignDefinition:
+    """Everything a campaign run depends on, as one frozen value object.
+
+    Attributes
+    ----------
+    name:
+        Campaign name; used for the store manifest and shard labels.
+    base:
+        The spec every grid point starts from (``None`` for pure
+        point-list campaigns such as the wrapped paper suites).
+    grids:
+        Zero or more grid blocks, each mapping dotted spec paths to value
+        sequences (as accepted by
+        :meth:`~repro.engine.spec.ScenarioSpec.with_updates`).  Each block
+        is expanded to the cartesian product of its axes over ``base``, in
+        row-major order; blocks are concatenated in definition order.
+    points:
+        Explicit extra scenario points appended after the grid expansion
+        (the paper suites are registered as campaigns this way).
+    overrides:
+        Dotted-path overrides applied to *every* expanded point after grid
+        expansion (an override of a swept path wins over the grid and
+        collapses that axis) — the standard way to scale trial budgets up
+        or down (``{"attack.n_attacks": 40, "n_trials": 2}``) without
+        editing the base spec or the suite.
+    shard_size:
+        Number of scenario points per shard of the work plan.
+    name_format:
+        Optional ``str.format`` template for grid-point names, receiving
+        the leaf parameter names as keys (see
+        :func:`repro.campaign.plan.expand_sweep`).
+    description, tags:
+        Free-form labels (excluded from the content hash).
+    """
+
+    name: str
+    base: ScenarioSpec | None = None
+    grids: tuple[tuple[tuple[str, tuple[Any, ...]], ...], ...] = ()
+    points: tuple[ScenarioSpec, ...] = ()
+    overrides: tuple[tuple[str, Any], ...] = ()
+    shard_size: int = DEFAULT_SHARD_SIZE
+    name_format: str | None = None
+    description: str = ""
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("campaign name must be a non-empty string")
+        if self.shard_size < 1:
+            raise ConfigurationError(
+                f"shard_size must be at least 1, got {self.shard_size}"
+            )
+        object.__setattr__(
+            self, "grids", tuple(_freeze_grid(grid) for grid in self.grids)
+        )
+        if isinstance(self.overrides, Mapping):
+            object.__setattr__(self, "overrides", tuple(self.overrides.items()))
+        object.__setattr__(
+            self, "overrides", tuple((str(k), v) for k, v in self.overrides)
+        )
+        object.__setattr__(self, "points", tuple(self.points))
+        object.__setattr__(self, "tags", tuple(str(t) for t in self.tags))
+        if self.grids and self.base is None:
+            raise ConfigurationError("a campaign with grids requires a base spec")
+        if self.base is None and not self.points:
+            raise ConfigurationError(
+                "a campaign needs a base spec and/or explicit points"
+            )
+
+    # ------------------------------------------------------------------
+    # dict / JSON round-trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data representation (tuples become lists, JSON-safe)."""
+        payload = asdict(self)
+        payload["base"] = None if self.base is None else self.base.to_dict()
+        payload["points"] = [point.to_dict() for point in self.points]
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignDefinition":
+        """Rebuild a definition from :meth:`to_dict` output (or parsed JSON)."""
+        payload = dict(data)
+        base = payload.get("base")
+        if base is not None and not isinstance(base, ScenarioSpec):
+            payload["base"] = ScenarioSpec.from_dict(base)
+        payload["points"] = tuple(
+            point if isinstance(point, ScenarioSpec) else ScenarioSpec.from_dict(point)
+            for point in payload.get("points", ())
+        )
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown CampaignDefinition fields: {sorted(unknown)}"
+            )
+        return cls(**payload)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialise the definition to canonical (sorted-key) JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignDefinition":
+        """Rebuild a definition from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def content_hash(self) -> str:
+        """SHA-256 over the plan-relevant content of the definition.
+
+        Labelling fields are excluded; the schema version participates so
+        that expansion-semantics changes invalidate stored campaigns.
+        """
+        payload = self.to_dict()
+        for excluded in _LABEL_FIELDS:
+            payload.pop(excluded, None)
+        payload["schema_version"] = CAMPAIGN_SCHEMA_VERSION
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def with_overrides(self, updates: Mapping[str, Any]) -> "CampaignDefinition":
+        """A copy with extra dotted-path overrides appended (later wins)."""
+        merged = dict(self.overrides)
+        merged.update(updates)
+        return CampaignDefinition(
+            name=self.name,
+            base=self.base,
+            grids=self.grids,
+            points=self.points,
+            overrides=tuple(merged.items()),
+            shard_size=self.shard_size,
+            name_format=self.name_format,
+            description=self.description,
+            tags=self.tags,
+        )
+
+
+__all__ = [
+    "CAMPAIGN_SCHEMA_VERSION",
+    "DEFAULT_SHARD_SIZE",
+    "CampaignDefinition",
+]

@@ -1,0 +1,349 @@
+"""Sharded, resumable execution of campaign plans.
+
+:func:`run_campaign` is the write path of the campaign subsystem: it
+expands a :class:`~repro.campaign.definition.CampaignDefinition` into its
+deterministic work plan, subtracts what the store already holds (and what
+an attached :class:`~repro.engine.cache.ResultCache` can replay without
+executing), shards the remaining work across worker processes, and streams
+every completed scenario into the store the moment it finishes.
+
+Because work is accounted by spec content hash, re-invoking the same
+campaign against the same store — after a crash, a ``kill -9``, or a
+deliberate ``shard_limit`` checkpoint — executes exactly the scenarios
+whose hashes are missing and nothing else.  ``resume`` is therefore not a
+separate mechanism: it is :func:`run_campaign` with the definition reloaded
+from the store's manifest.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.campaign.definition import CAMPAIGN_SCHEMA_VERSION, CampaignDefinition
+from repro.campaign.plan import CampaignPlan, Shard, plan_campaign
+from repro.campaign.store import CampaignStore
+from repro.engine.cache import ResultCache
+from repro.engine.results import ScenarioResult
+from repro.engine.runner import ScenarioEngine
+from repro.engine.spec import ScenarioSpec
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ShardStatus:
+    """Completion state of one shard of the plan."""
+
+    index: int
+    n_points: int
+    n_completed: int
+
+    @property
+    def complete(self) -> bool:
+        return self.n_completed >= self.n_points
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Completion state of a campaign against a store."""
+
+    name: str
+    plan_hash: str
+    n_points: int
+    n_items: int
+    n_completed: int
+    shards: tuple[ShardStatus, ...]
+
+    @property
+    def n_missing(self) -> int:
+        return self.n_items - self.n_completed
+
+    @property
+    def complete(self) -> bool:
+        return self.n_missing == 0
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """What one :func:`run_campaign` invocation did.
+
+    ``executed``, ``from_cache`` and ``skipped`` partition the plan's work
+    items by how this invocation satisfied them: ran the trials, replayed a
+    :class:`ResultCache` entry into the store, or found the hash already in
+    the store.  The spec-hash accounting is exact, which is what the resume
+    tests assert against.
+    """
+
+    plan_hash: str
+    n_points: int
+    n_items: int
+    executed: tuple[str, ...] = ()
+    from_cache: tuple[str, ...] = ()
+    skipped: tuple[str, ...] = ()
+    shards_run: tuple[int, ...] = ()
+    elapsed_seconds: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return len(self.executed) + len(self.from_cache) + len(self.skipped) == self.n_items
+
+
+def _run_shard(
+    shard_index: int,
+    specs: Sequence[ScenarioSpec],
+    batch_size: int | None,
+    cache_dir: str | None,
+) -> tuple[int, list[ScenarioResult]]:
+    """Worker entry point: run one shard's scenarios serially in-process.
+
+    Module-level and picklable so a ``ProcessPoolExecutor`` can ship it.
+    The worker attaches the shared :class:`ResultCache` directory (if any)
+    so freshly executed scenarios also land in the cache, and runs with
+    ``n_workers=1`` — parallelism lives at the shard level.
+    """
+    engine = ScenarioEngine(cache=cache_dir, n_workers=1, batch_size=batch_size)
+    return shard_index, [engine.run(spec) for spec in specs]
+
+
+class CampaignOrchestrator:
+    """Executes campaign plans against a persistent store.
+
+    Parameters
+    ----------
+    store:
+        An existing :class:`CampaignStore` or a directory path to open one
+        in.
+    n_workers:
+        Shard-level parallelism; 1 executes shards in the orchestrating
+        process (streaming results scenario-by-scenario), larger values run
+        shards on a process pool (streaming shard-by-shard).
+    batch_size:
+        Trial-batch size forwarded to the per-shard engines.
+    cache:
+        Optional :class:`ResultCache` (or directory) interop: scenarios
+        already in the cache are ingested into the store instead of re-run,
+        and executed scenarios are written back to the cache.
+    """
+
+    def __init__(
+        self,
+        store: CampaignStore | str | Path,
+        n_workers: int = 1,
+        batch_size: int | None = None,
+        cache: ResultCache | str | Path | None = None,
+    ) -> None:
+        self._store = store if isinstance(store, CampaignStore) else CampaignStore(store)
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be at least 1, got {n_workers}")
+        self._n_workers = int(n_workers)
+        self._batch_size = batch_size
+        if cache is None or isinstance(cache, ResultCache):
+            self._cache = cache
+        else:
+            self._cache = ResultCache(cache)
+
+    @property
+    def store(self) -> CampaignStore:
+        """The campaign store results stream into."""
+        return self._store
+
+    @property
+    def cache(self) -> ResultCache | None:
+        """The interop result cache, or ``None``."""
+        return self._cache
+
+    # ------------------------------------------------------------------
+    def _check_manifest(self, plan: CampaignPlan) -> None:
+        """Bind the store to the plan, rejecting a different campaign."""
+        manifest = self._store.read_manifest()
+        if manifest is not None and manifest.get("plan_hash") != plan.plan_hash:
+            raise ConfigurationError(
+                f"store {self._store.directory} holds campaign "
+                f"{manifest.get('name', '?')!r} with plan hash "
+                f"{manifest.get('plan_hash', '?')[:12]}…, which differs from "
+                f"{plan.definition.name!r} ({plan.plan_hash[:12]}…); use a "
+                "fresh store directory per campaign"
+            )
+        if manifest is None:
+            self._store.write_manifest(
+                {
+                    "schema_version": CAMPAIGN_SCHEMA_VERSION,
+                    "name": plan.definition.name,
+                    "plan_hash": plan.plan_hash,
+                    "definition": plan.definition.to_dict(),
+                    "created_unix": time.time(),
+                }
+            )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        definition: CampaignDefinition,
+        shard_limit: int | None = None,
+    ) -> CampaignReport:
+        """Execute every missing scenario of the campaign (or the first
+        ``shard_limit`` incomplete shards of it).
+
+        Work already present in the store is skipped; work the interop
+        cache can replay is ingested without execution; the rest runs
+        sharded, streaming into the store as it completes.
+        """
+        start = time.perf_counter()
+        plan = plan_campaign(definition)
+        self._check_manifest(plan)
+
+        completed = self._store.completed_hashes() & set(plan.items)
+        skipped = tuple(h for h in plan.items if h in completed)
+
+        from_cache: list[str] = []
+        try:
+            # ResultCache interop: replay cached scenarios into the store.
+            if self._cache is not None:
+                for spec_hash, spec in plan.items.items():
+                    if spec_hash in completed:
+                        continue
+                    hit = self._cache.get(spec)
+                    if hit is not None:
+                        self._store.append(hit, shard=plan.shard_of(spec_hash))
+                        completed.add(spec_hash)
+                        from_cache.append(spec_hash)
+
+            pending = [
+                shard
+                for shard in plan.shards
+                if any(h not in completed for h in shard.spec_hashes)
+            ]
+            if shard_limit is not None:
+                pending = pending[: max(0, int(shard_limit))]
+
+            executed = self._execute_shards(plan, pending, completed)
+        finally:
+            # Hand the writer lock back the moment the run ends (even on
+            # failure), so another orchestrator — this process or another —
+            # can continue the campaign without waiting for this store to
+            # be garbage-collected.
+            self._store.release_writer()
+
+        return CampaignReport(
+            plan_hash=plan.plan_hash,
+            n_points=plan.n_points,
+            n_items=plan.n_items,
+            executed=tuple(executed),
+            from_cache=tuple(from_cache),
+            skipped=skipped,
+            shards_run=tuple(shard.index for shard in pending),
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def _execute_shards(
+        self,
+        plan: CampaignPlan,
+        pending: Sequence[Shard],
+        completed: set[str],
+    ) -> list[str]:
+        """Run the pending shards, streaming results into the store."""
+        cache_dir = None if self._cache is None else str(self._cache.directory)
+        executed: list[str] = []
+        if self._n_workers <= 1:
+            # In-process execution streams scenario-by-scenario (the finest
+            # crash granularity) through one engine shared by every shard.
+            engine = ScenarioEngine(
+                cache=cache_dir, n_workers=1, batch_size=self._batch_size
+            )
+            for shard in pending:
+                for spec_hash in shard.spec_hashes:
+                    if spec_hash in completed:
+                        continue  # spec-hash accounting within partial shards
+                    result = engine.run(plan.spec_for(spec_hash))
+                    self._store.append(result, shard=shard.index)
+                    executed.append(spec_hash)
+            return executed
+
+        tasks = {
+            shard.index: [
+                plan.spec_for(h) for h in shard.spec_hashes if h not in completed
+            ]
+            for shard in pending
+        }
+        with ProcessPoolExecutor(max_workers=self._n_workers) as pool:
+            futures = [
+                pool.submit(_run_shard, index, specs, self._batch_size, cache_dir)
+                for index, specs in tasks.items()
+                if specs
+            ]
+            for future in as_completed(futures):
+                shard_index, results = future.result()
+                for result in results:
+                    spec_hash = self._store.append(result, shard=shard_index)
+                    executed.append(spec_hash)
+        return executed
+
+    # ------------------------------------------------------------------
+    def status(self, definition: CampaignDefinition | None = None) -> CampaignStatus:
+        """Completion state of the campaign against the store.
+
+        With no explicit definition the store's manifest is used (the
+        normal ``repro campaign status`` path).
+        """
+        plan = plan_campaign(self._resolve_definition(definition))
+        completed = self._store.completed_hashes() & set(plan.items)
+        shards = tuple(
+            ShardStatus(
+                index=shard.index,
+                n_points=shard.n_points,
+                n_completed=sum(1 for h in shard.spec_hashes if h in completed),
+            )
+            for shard in plan.shards
+        )
+        return CampaignStatus(
+            name=plan.definition.name,
+            plan_hash=plan.plan_hash,
+            n_points=plan.n_points,
+            n_items=plan.n_items,
+            n_completed=len(completed),
+            shards=shards,
+        )
+
+    def resume(self, shard_limit: int | None = None) -> CampaignReport:
+        """Re-run the store's own campaign; only missing work executes."""
+        return self.run(self._resolve_definition(None), shard_limit=shard_limit)
+
+    def _resolve_definition(
+        self, definition: CampaignDefinition | None
+    ) -> CampaignDefinition:
+        if definition is not None:
+            return definition
+        manifest = self._store.read_manifest()
+        if manifest is None or "definition" not in manifest:
+            raise ConfigurationError(
+                f"store {self._store.directory} has no campaign manifest; "
+                "pass a definition or run the campaign first"
+            )
+        return CampaignDefinition.from_dict(manifest["definition"])
+
+
+def run_campaign(
+    definition: CampaignDefinition,
+    store: CampaignStore | str | Path,
+    n_workers: int = 1,
+    batch_size: int | None = None,
+    cache: ResultCache | str | Path | None = None,
+    shard_limit: int | None = None,
+) -> CampaignReport:
+    """One-shot convenience wrapper around :class:`CampaignOrchestrator`."""
+    orchestrator = CampaignOrchestrator(
+        store, n_workers=n_workers, batch_size=batch_size, cache=cache
+    )
+    return orchestrator.run(definition, shard_limit=shard_limit)
+
+
+__all__ = [
+    "CampaignOrchestrator",
+    "CampaignReport",
+    "CampaignStatus",
+    "ShardStatus",
+    "run_campaign",
+]

@@ -1,0 +1,195 @@
+"""Query and aggregation over a campaign store.
+
+The store holds raw :class:`~repro.engine.results.ScenarioResult` records;
+this module turns them into answers: filter scenarios by dotted spec
+fields, group them, roll each group's trials up into the library's standard
+:class:`~repro.analysis.montecarlo.MonteCarloSummary`, and export flat CSV
+tables.  Because stored trial metrics round-trip losslessly through JSON,
+a summary computed from the store is bit-identical to one computed from the
+equivalent in-memory run.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.analysis.montecarlo import MonteCarloSummary, summarize_values
+from repro.engine.results import ScenarioResult, merge_metric
+from repro.campaign.store import CampaignStore, spec_field
+from repro.exceptions import ConfigurationError
+
+
+def _matches(spec: Mapping[str, Any], where: Mapping[str, Any]) -> bool:
+    """Whether a spec dict satisfies every dotted-field equality clause."""
+    for path, expected in where.items():
+        try:
+            actual = spec_field(spec, path)
+        except KeyError:
+            return False
+        if isinstance(actual, (int, float)) and isinstance(expected, (int, float)):
+            if float(actual) != float(expected):
+                return False
+        elif actual != expected:
+            return False
+    return True
+
+
+def _plan_order(store: CampaignStore) -> dict[str, int] | None:
+    """Spec-hash → plan-position map from the store's manifest, if any."""
+    manifest = store.read_manifest()
+    if manifest is None or "definition" not in manifest:
+        return None
+    from repro.campaign.definition import CampaignDefinition
+    from repro.campaign.plan import plan_campaign
+
+    try:
+        plan = plan_campaign(CampaignDefinition.from_dict(manifest["definition"]))
+    except ConfigurationError:
+        return None
+    return {spec_hash: rank for rank, spec_hash in enumerate(plan.items)}
+
+
+def query_results(
+    store: CampaignStore,
+    where: Mapping[str, Any] | None = None,
+    tags: Sequence[str] | None = None,
+) -> list[ScenarioResult]:
+    """Stored results matching the filters, in deterministic order.
+
+    Results come back in campaign-plan order (from the store's manifest),
+    so pooled roll-ups reduce in the same order as the equivalent in-memory
+    sweep regardless of which worker finished first; stores without a
+    manifest fall back to (name, spec-hash) order.
+
+    Parameters
+    ----------
+    store:
+        The campaign store to read.
+    where:
+        Dotted spec-field equality clauses, e.g.
+        ``{"grid.case": "ieee14", "mtd.gamma_threshold": 0.25}``.
+        Numeric clauses compare as floats.
+    tags:
+        Keep only scenarios carrying every listed tag.
+    """
+    selected = []
+    for record in store.records():
+        spec = record.get("spec", {})
+        if where and not _matches(spec, where):
+            continue
+        if tags and not set(tags).issubset(set(spec.get("tags", ()))):
+            continue
+        # Records carry their spec hash, so ordering never re-hashes specs.
+        selected.append(
+            (record["spec_hash"], ScenarioResult.from_dict(record, from_cache=True))
+        )
+    order = _plan_order(store)
+    if order is not None:
+        fallback = len(order)
+        selected.sort(key=lambda pair: order.get(pair[0], fallback))
+    else:
+        selected.sort(key=lambda pair: (pair[1].spec.name, pair[0]))
+    return [result for _, result in selected]
+
+
+@dataclass(frozen=True)
+class GroupSummary:
+    """One group of a grouped roll-up: its key, members, pooled summary."""
+
+    key: tuple[Any, ...]
+    n_scenarios: int
+    summary: MonteCarloSummary
+
+
+def summarize_groups(
+    results: Iterable[ScenarioResult],
+    metric: str | None = None,
+    group_by: Sequence[str] = (),
+) -> list[GroupSummary]:
+    """Pool trials per group and summarise them.
+
+    ``group_by`` lists dotted spec fields; scenarios with equal field
+    tuples pool their per-trial metric values into one
+    :class:`MonteCarloSummary`.  With no ``group_by`` every scenario forms
+    its own group keyed by name (the per-scenario roll-up).  Groups keep
+    first-occurrence order.
+    """
+    groups: dict[tuple[Any, ...], list[ScenarioResult]] = {}
+    for result in results:
+        if group_by:
+            spec = result.spec.to_dict()
+            try:
+                key = tuple(spec_field(spec, path) for path in group_by)
+            except KeyError as missing:
+                raise ConfigurationError(
+                    f"unknown group-by field {missing.args[0]!r} "
+                    f"for scenario {result.spec.name!r}"
+                ) from None
+            for path, value in zip(group_by, key):
+                if isinstance(value, (dict, list)):
+                    raise ConfigurationError(
+                        f"group-by field {path!r} is not a scalar "
+                        f"(got {type(value).__name__}); group by a leaf "
+                        "field such as 'mtd.gamma_threshold'"
+                    )
+        else:
+            key = (result.spec.name,)
+        groups.setdefault(key, []).append(result)
+    return [
+        GroupSummary(
+            key=key,
+            n_scenarios=len(members),
+            summary=summarize_values(merge_metric(members, metric)),
+        )
+        for key, members in groups.items()
+    ]
+
+
+def export_csv(
+    path: str | Path,
+    results: Iterable[ScenarioResult],
+    metric: str | None = None,
+    fields: Sequence[str] = (),
+) -> Path:
+    """Write one CSV row per scenario: identity, spec fields, summary.
+
+    Columns: ``name``, ``spec_hash``, the requested dotted ``fields``, then
+    ``n_trials``, ``metric``, ``mean``, ``std``, ``ci_halfwidth``,
+    ``median``.  Floats are written with ``repr`` precision, so the file
+    reconstructs summary values exactly.
+    """
+    path = Path(path)
+    header = (
+        ["name", "spec_hash"]
+        + list(fields)
+        + ["n_trials", "metric", "mean", "std", "ci_halfwidth", "median"]
+    )
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for result in results:
+            spec = result.spec.to_dict()
+            name = result.spec.metric if metric is None else metric
+            summary = result.summarize(metric)
+            row = [result.spec.name, result.spec.content_hash()]
+            for field in fields:
+                try:
+                    row.append(spec_field(spec, field))
+                except KeyError:
+                    row.append("")
+            row += [
+                result.n_trials,
+                name,
+                repr(summary.mean),
+                repr(summary.std),
+                repr(summary.confidence_halfwidth),
+                repr(summary.median),
+            ]
+            writer.writerow(row)
+    return path
+
+
+__all__ = ["GroupSummary", "query_results", "summarize_groups", "export_csv"]

@@ -1,0 +1,59 @@
+"""The canonical scenario suites, registered as named campaigns.
+
+Every suite of :mod:`repro.engine.scenarios` — the paper's Figs. 6–11 and
+Tables I–III plus the synthetic ``scale`` suite — is available as a
+:class:`~repro.campaign.definition.CampaignDefinition`, so one CLI command
+(``python -m repro suites run fig8 --store fig8.campaign``) turns a paper
+figure into a durable, resumable, queryable campaign.
+
+Budget overrides (``--trials``, ``--attacks``, arbitrary ``--set`` paths)
+become definition ``overrides``; derived definitions hash differently, so a
+quick-budget campaign and the paper-budget campaign never share a store
+entry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.campaign.definition import CampaignDefinition
+from repro.engine.scenarios import available_scenarios, scenario_suite
+
+
+def available_campaigns() -> tuple[str, ...]:
+    """Sorted names of the registered campaigns (one per scenario suite)."""
+    return available_scenarios()
+
+
+def campaign_from_suite(
+    name: str,
+    overrides: Mapping[str, Any] | None = None,
+    shard_size: int | None = None,
+) -> CampaignDefinition:
+    """Wrap a scenario suite into a campaign definition.
+
+    Parameters
+    ----------
+    name:
+        Suite name as accepted by
+        :func:`repro.engine.scenarios.scenario_suite`.
+    overrides:
+        Dotted-path overrides applied to every point (trial budgets etc.).
+    shard_size:
+        Points per shard; defaults to the definition default.
+    """
+    specs = scenario_suite(name)
+    extra = {} if shard_size is None else {"shard_size": shard_size}
+    definition = CampaignDefinition(
+        name=f"suite-{name.strip().lower()}",
+        points=specs,
+        description=f"Canonical scenario suite {name!r} as a campaign.",
+        tags=("suite", name.strip().lower()),
+        **extra,
+    )
+    if overrides:
+        definition = definition.with_overrides(overrides)
+    return definition
+
+
+__all__ = ["available_campaigns", "campaign_from_suite"]

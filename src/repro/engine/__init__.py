@@ -19,6 +19,11 @@ The engine separates *what* an experiment is from *how* it executes:
 * :mod:`repro.engine.scenarios` — canonical suites for the paper's
   figures/tables and the 57-/118-bus synthetic scale cases.
 
+Grid-expansion semantics (``expand_grid`` / ``run_sweep``) are owned by
+the campaign planner (:mod:`repro.campaign.plan`); for durable, sharded,
+resumable sweeps over the same specs see :mod:`repro.campaign` and the
+``python -m repro`` CLI.
+
 Quickstart
 ----------
 >>> from repro.engine import ScenarioEngine, ScenarioSpec, GridSpec, MTDSpec

@@ -31,10 +31,11 @@ from itertools import repeat
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.campaign.plan import plan_sweep
 from repro.engine.batch import run_trial_batch
 from repro.engine.cache import ResultCache
 from repro.engine.results import ScenarioResult
-from repro.engine.spec import ScenarioSpec, expand_grid
+from repro.engine.spec import ScenarioSpec
 from repro.engine.trial import run_trial
 from repro.exceptions import ConfigurationError
 
@@ -193,10 +194,16 @@ class ScenarioEngine:
         ``grid`` maps dotted spec paths to value sequences, e.g.
         ``{"mtd.gamma_threshold": (0.1, 0.2, 0.3), "grid.case": ("ieee14",
         "ieee30")}``; the cartesian product is executed in row-major order.
+
+        Expansion and execution order are delegated to the campaign planner
+        (:func:`repro.campaign.plan.plan_sweep`), so an in-memory sweep and
+        a persistent campaign over the same base/grid run the *same* specs
+        with bit-identical results; for a durable, sharded, resumable sweep
+        use :func:`repro.campaign.orchestrator.run_campaign` instead.
         """
-        specs = expand_grid(base, grid, name_format=name_format)
-        return self.run_suite(
-            specs, n_workers=n_workers, use_cache=use_cache, batch_size=batch_size
+        plan = plan_sweep(base, grid, name_format=name_format)
+        return plan.run(
+            self, n_workers=n_workers, use_cache=use_cache, batch_size=batch_size
         )
 
 

@@ -372,6 +372,11 @@ def expand_grid(
 ) -> list[ScenarioSpec]:
     """Expand a base spec into the cartesian product of parameter sweeps.
 
+    Delegates to :func:`repro.campaign.plan.expand_sweep`, the campaign
+    planner's canonical grid expansion (imported lazily to keep the
+    spec → planner → spec edge acyclic at import time), so in-memory sweeps
+    and persistent campaigns share one set of grid semantics.
+
     Parameters
     ----------
     base:
@@ -389,29 +394,9 @@ def expand_grid(
     list of ScenarioSpec
         One spec per grid point, in row-major order of the given axes.
     """
-    paths = list(grid)
-    points: list[ScenarioSpec] = [base]
-    for path in paths:
-        points = [
-            point.with_updates({path: value})
-            for point in points
-            for value in grid[path]
-        ]
-    named = []
-    for spec in points:
-        leaf_values = {}
-        for path in paths:
-            obj: Any = spec
-            for part in path.split("."):
-                obj = getattr(obj, part)
-            leaf_values[path.split(".")[-1]] = obj
-        if name_format is not None:
-            name = name_format.format(**leaf_values)
-        else:
-            suffix = ",".join(f"{k}={v}" for k, v in leaf_values.items())
-            name = f"{base.name}[{suffix}]" if suffix else base.name
-        named.append(spec.with_updates(name=name))
-    return named
+    from repro.campaign.plan import expand_sweep
+
+    return expand_sweep(base, grid, name_format=name_format)
 
 
 __all__ = [
