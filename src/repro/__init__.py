@@ -76,7 +76,13 @@ from repro.mtd import (
     smallest_principal_angle,
     subspace_angle,
 )
-from repro.loads import nyiso_like_winter_day
+from repro.loads import (
+    available_shapes,
+    day_shape,
+    multi_day_profile,
+    nyiso_like_winter_day,
+    profile_for_network,
+)
 from repro.analysis.montecarlo import MonteCarloSummary, repeat_experiment, summarize_values
 from repro.engine import (
     AttackSpec,
@@ -104,8 +110,17 @@ from repro.campaign import (
     plan_campaign,
     run_campaign,
 )
+from repro.timeseries import (
+    OperationEngine,
+    OperationRecord,
+    OperationResult,
+    OperationSpec,
+    ProfileSpec,
+    TuningSpec,
+    daily_operation_spec,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # exceptions
@@ -168,6 +183,10 @@ __all__ = [
     "compute_tradeoff_curve",
     "DailyMTDScheduler",
     "nyiso_like_winter_day",
+    "available_shapes",
+    "day_shape",
+    "multi_day_profile",
+    "profile_for_network",
     # analysis
     "MonteCarloSummary",
     "repeat_experiment",
@@ -196,5 +215,13 @@ __all__ = [
     "campaign_from_suite",
     "plan_campaign",
     "run_campaign",
+    # time-series operation
+    "OperationSpec",
+    "ProfileSpec",
+    "TuningSpec",
+    "OperationEngine",
+    "OperationRecord",
+    "OperationResult",
+    "daily_operation_spec",
     "__version__",
 ]

@@ -195,7 +195,8 @@ def _add_budget_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--attacks", type=int, default=None,
                         help="override attack.n_attacks of every scenario point")
     parser.add_argument("--set", action="append", metavar="PATH=VALUE",
-                        help="extra dotted-path override (repeatable)")
+                        help="extra dotted-path override, any depth "
+                             "(repeatable), e.g. operation.profile.hours=6")
     parser.add_argument("--shard-size", type=int, default=None,
                         help="scenario points per shard")
 

@@ -12,6 +12,7 @@ equivalent in-memory run.
 from __future__ import annotations
 
 import csv
+import weakref
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
@@ -29,7 +30,15 @@ def _matches(spec: Mapping[str, Any], where: Mapping[str, Any]) -> bool:
             actual = spec_field(spec, path)
         except KeyError:
             return False
-        if isinstance(actual, (int, float)) and isinstance(expected, (int, float)):
+        if isinstance(actual, bool) or isinstance(expected, bool):
+            # ``bool`` subclasses ``int``, so the float comparison below
+            # would make ``enabled=true`` match spec values ``1``/``1.0``
+            # (and vice versa).  Booleans only ever equal booleans.
+            if not (isinstance(actual, bool) and isinstance(expected, bool)):
+                return False
+            if actual is not expected:
+                return False
+        elif isinstance(actual, (int, float)) and isinstance(expected, (int, float)):
             if float(actual) != float(expected):
                 return False
         elif actual != expected:
@@ -37,11 +46,30 @@ def _matches(spec: Mapping[str, Any], where: Mapping[str, Any]) -> bool:
     return True
 
 
+#: Per-store memo of the spec-hash → plan-position map, keyed weakly on the
+#: store instance and invalidated by the manifest's plan hash.  Expanding and
+#: re-hashing a large campaign plan is O(plan); repeated ``query_results``
+#: calls against the same store must not pay it more than once.
+_PLAN_ORDER_CACHE: "weakref.WeakKeyDictionary[CampaignStore, tuple[str, dict[str, int]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def _plan_order(store: CampaignStore) -> dict[str, int] | None:
-    """Spec-hash → plan-position map from the store's manifest, if any."""
+    """Spec-hash → plan-position map from the store's manifest, if any.
+
+    Memoized per store instance: the plan is re-derived only when the
+    manifest's plan hash changes (a different campaign was bound to the
+    store), so repeated queries pay a dict lookup instead of a full plan
+    expansion + per-spec content hashing.
+    """
     manifest = store.read_manifest()
     if manifest is None or "definition" not in manifest:
         return None
+    plan_hash = str(manifest.get("plan_hash", ""))
+    cached = _PLAN_ORDER_CACHE.get(store)
+    if cached is not None and cached[0] == plan_hash:
+        return cached[1]
     from repro.campaign.definition import CampaignDefinition
     from repro.campaign.plan import plan_campaign
 
@@ -49,7 +77,9 @@ def _plan_order(store: CampaignStore) -> dict[str, int] | None:
         plan = plan_campaign(CampaignDefinition.from_dict(manifest["definition"]))
     except ConfigurationError:
         return None
-    return {spec_hash: rank for rank, spec_hash in enumerate(plan.items)}
+    order = {spec_hash: rank for rank, spec_hash in enumerate(plan.items)}
+    _PLAN_ORDER_CACHE[store] = (plan_hash, order)
+    return order
 
 
 def query_results(

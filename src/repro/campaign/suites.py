@@ -6,6 +6,13 @@ Tables I–III plus the synthetic ``scale`` suite — is available as a
 (``python -m repro suites run fig8 --store fig8.campaign``) turns a paper
 figure into a durable, resumable, queryable campaign.
 
+This includes the time-series operation suites (``fig10``, ``fig11``,
+``daily-ops``): their points are ordinary scenario specs whose trials are
+operated hours, so sharding, the crash-safe store, resume and query work
+unchanged.  Note that for operation points ``--trials`` is a no-op (the
+horizon pins the trial count); scale their budget with ``--attacks`` and
+deep ``--set`` paths such as ``operation.profile.hours=6``.
+
 Budget overrides (``--trials``, ``--attacks``, arbitrary ``--set`` paths)
 become definition ``overrides``; derived definitions hash differently, so a
 quick-budget campaign and the paper-budget campaign never share a store

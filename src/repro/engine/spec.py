@@ -21,6 +21,7 @@ from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
 from typing import Any, Mapping, Sequence
 
 from repro.exceptions import ConfigurationError
+from repro.timeseries.spec import OperationSpec
 
 #: Bumped whenever the trial semantics change in a way that invalidates
 #: previously cached results (the version participates in the content hash).
@@ -231,6 +232,14 @@ class ScenarioSpec:
         Human-readable label (excluded from the content hash).
     grid, attack, detector, mtd:
         The component specifications.
+    operation:
+        Optional :class:`~repro.timeseries.spec.OperationSpec` turning the
+        scenario into a time-series operation experiment (Figs. 10-11):
+        trial ``t`` becomes hour ``t`` of the operated horizon, executed by
+        :mod:`repro.timeseries.engine`.  When set, ``n_trials`` is pinned
+        to the horizon length, the MTD policy must be ``"designed"`` (the
+        per-hour tuning loop supersedes ``mtd.gamma_threshold``) and the
+        detector method must be ``"analytic"``.
     n_trials:
         Number of Monte-Carlo trials.
     base_seed:
@@ -254,6 +263,7 @@ class ScenarioSpec:
     attack: AttackSpec = field(default_factory=AttackSpec)
     detector: DetectorSpec = field(default_factory=DetectorSpec)
     mtd: MTDSpec = field(default_factory=MTDSpec)
+    operation: OperationSpec | None = None
     n_trials: int = 1
     base_seed: int = 0
     deltas: tuple[float, ...] = (0.5, 0.8, 0.9, 0.95)
@@ -265,6 +275,19 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("scenario name must be a non-empty string")
+        if self.operation is not None:
+            if self.mtd.policy != "designed":
+                raise ConfigurationError(
+                    "operation scenarios tune a designed MTD per hour; "
+                    f"mtd.policy must be 'designed', got {self.mtd.policy!r}"
+                )
+            if self.detector.method != "analytic":
+                raise ConfigurationError(
+                    "operation scenarios evaluate the per-hour ensemble "
+                    "analytically; detector.method must be 'analytic'"
+                )
+            # One trial per operated hour: the horizon defines the count.
+            object.__setattr__(self, "n_trials", self.operation.n_hours())
         if self.n_trials <= 0:
             raise ConfigurationError(f"n_trials must be positive, got {self.n_trials}")
         if self.batch_size is not None and self.batch_size < 1:
@@ -278,8 +301,16 @@ class ScenarioSpec:
     # dict / JSON round-trip
     # ------------------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
-        """Plain-data representation (tuples become lists, JSON-safe)."""
-        return asdict(self)
+        """Plain-data representation (tuples become lists, JSON-safe).
+
+        The ``operation`` key is present only when the component is set, so
+        plain Monte-Carlo specs keep their historical JSON shape (and
+        content hash).
+        """
+        payload = asdict(self)
+        if self.operation is None:
+            payload.pop("operation", None)
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
@@ -289,6 +320,8 @@ class ScenarioSpec:
         payload["attack"] = _component_from(AttackSpec, payload.get("attack", {}))
         payload["detector"] = _component_from(DetectorSpec, payload.get("detector", {}))
         payload["mtd"] = _component_from(MTDSpec, payload.get("mtd", {}))
+        if payload.get("operation") is not None:
+            payload["operation"] = OperationSpec.from_dict(payload["operation"])
         known = {f.name for f in fields(cls)}
         unknown = set(payload) - known
         if unknown:
@@ -331,24 +364,29 @@ class ScenarioSpec:
         """Return a copy with dotted-path overrides applied.
 
         ``updates`` maps dotted paths into the nested components, e.g.
-        ``{"mtd.gamma_threshold": 0.4, "grid.case": "ieee30"}``; keyword
-        arguments override top-level fields (``name=...``, ``n_trials=...``).
+        ``{"mtd.gamma_threshold": 0.4, "grid.case": "ieee30"}``; paths
+        descend through nested dataclasses to any depth
+        (``"operation.profile.hours"``).  Keyword arguments override
+        top-level fields (``name=...``, ``n_trials=...``).
         """
         spec = self
         for path, value in (updates or {}).items():
-            parts = path.split(".")
-            if len(parts) == 1:
-                spec = replace(spec, **{parts[0]: value})
-            elif len(parts) == 2:
-                component = getattr(spec, parts[0], None)
-                if not is_dataclass(component):
-                    raise ConfigurationError(f"unknown spec component {parts[0]!r}")
-                spec = replace(spec, **{parts[0]: replace(component, **{parts[1]: value})})
-            else:
-                raise ConfigurationError(f"update path too deep: {path!r}")
+            spec = _replace_path(spec, path, path.split("."), value)
         if top_level:
             spec = replace(spec, **top_level)
         return spec
+
+
+def _replace_path(obj: Any, full_path: str, parts: Sequence[str], value: Any) -> Any:
+    """Rebuild ``obj`` with the dotted-path field replaced by ``value``."""
+    if len(parts) == 1:
+        return replace(obj, **{parts[0]: value})
+    component = getattr(obj, parts[0], None)
+    if not is_dataclass(component):
+        raise ConfigurationError(
+            f"unknown spec component {parts[0]!r} in update path {full_path!r}"
+        )
+    return replace(obj, **{parts[0]: _replace_path(component, full_path, parts[1:], value)})
 
 
 def _component_from(cls: type, data: Any) -> Any:

@@ -37,12 +37,22 @@ from repro.opf.reactance_opf import solve_reactance_opf
 from repro.opf.result import OPFResult
 
 
-@lru_cache(maxsize=32)
-def _grid_context(grid: GridSpec) -> tuple[PowerNetwork, OPFResult]:
-    """The (deterministic) network and no-MTD operating point of a grid spec."""
+def network_for_grid(grid: GridSpec) -> PowerNetwork:
+    """The (deterministic) network of a grid spec.
+
+    The single owner of GridSpec → PowerNetwork construction; the
+    time-series engine's per-process network cache builds on it too.
+    """
     network = load_case(grid.case, **grid.kwargs())
     if grid.load_scale != 1.0:
         network = network.with_loads(network.loads_mw() * grid.load_scale)
+    return network
+
+
+@lru_cache(maxsize=32)
+def _grid_context(grid: GridSpec) -> tuple[PowerNetwork, OPFResult]:
+    """The (deterministic) network and no-MTD operating point of a grid spec."""
+    network = network_for_grid(grid)
     if grid.baseline == "reactance-opf":
         baseline = solve_reactance_opf(network, n_random_starts=2, seed=0)
     else:
@@ -72,6 +82,9 @@ def clear_context_caches() -> None:
     """Drop the per-process grid/evaluator memoisation (mostly for tests)."""
     _grid_context.cache_clear()
     _shared_evaluator.cache_clear()
+    from repro.timeseries.engine import clear_operation_caches
+
+    clear_operation_caches()
 
 
 def trial_seed_sequence(base_seed: int, trial_index: int) -> np.random.SeedSequence:
@@ -121,6 +134,13 @@ def run_trial(
         raise ConfigurationError(
             f"trial_index must be in [0, {spec.n_trials}), got {trial_index}"
         )
+    if spec.operation is not None:
+        # Time-series operation scenarios: trial ``t`` is hour ``t`` of the
+        # horizon (imported lazily — the timeseries engine builds on this
+        # module's machinery).
+        from repro.timeseries.engine import run_operation_trial
+
+        return run_operation_trial(spec, trial_index, model_cache=model_cache)
     attack_seq, mtd_seq, noise_seq = trial_seed_sequence(spec.base_seed, trial_index).spawn(3)
 
     network, baseline = _grid_context(spec.grid)
@@ -223,4 +243,4 @@ def _apply_policy(
     raise ConfigurationError(f"unknown MTD policy {mtd.policy!r}")
 
 
-__all__ = ["run_trial", "trial_seed_sequence", "clear_context_caches"]
+__all__ = ["run_trial", "trial_seed_sequence", "network_for_grid", "clear_context_caches"]

@@ -1,13 +1,23 @@
 """Load profiles for the dynamic-load experiments."""
 
 from repro.loads.profiles import (
+    PROFILE_SHAPES,
+    available_shapes,
+    day_shape,
     nyiso_like_winter_day,
+    multi_day_profile,
+    profile_for_network,
     scale_profile_to_band,
     hourly_loads_for_network,
 )
 
 __all__ = [
+    "PROFILE_SHAPES",
+    "available_shapes",
+    "day_shape",
     "nyiso_like_winter_day",
+    "multi_day_profile",
+    "profile_for_network",
     "scale_profile_to_band",
     "hourly_loads_for_network",
 ]

@@ -44,6 +44,62 @@ from repro.utils.rng import as_generator
 
 DesignMethod = Literal["joint", "two-stage", "max-spa"]
 
+#: Bound on a :class:`DesignContext`'s memo entries; a full daily-operation
+#: tuning run stays far below it, so hitting the cap simply restarts the
+#: memo rather than degrading results.
+_CONTEXT_MAX_ENTRIES: int = 20_000
+
+
+class DesignContext:
+    """Per-hour memoisation shared by repeated MTD design calls.
+
+    The daily-operation tuning loop prices several SPA thresholds against
+    the *same* attacker view and load vector.  Most of each two-stage design
+    call is threshold-independent: the continuous max-SPA search, the
+    subspace angles of the D-FACTS box corners, and the OPF pricing of
+    candidate points that recur across thresholds (anchors and the fixed
+    step grid along each direction).  A context carries those results from
+    one call to the next, so tuning ``K`` thresholds stops costing ``K``
+    full designs.
+
+    Every memo caches a pure deterministic function of its key, so serving
+    a hit is bit-identical to recomputing.  The max-SPA memo is additionally
+    gated on :meth:`reuse_max_spa_safe`: it is only consulted when the
+    design path provably never draws from its RNG (full corner enumeration
+    with enough corners to seed the polish starts), because skipping a
+    computation that *would* have consumed random draws would shift every
+    draw after it.
+    """
+
+    __slots__ = ("spa", "opf", "max_spa")
+
+    def __init__(self) -> None:
+        self.spa: dict[bytes, float] = {}
+        #: x-bytes → OPFResult, or ``None`` for an infeasible dispatch.
+        self.opf: dict[bytes, OPFResult | None] = {}
+        #: (base-x bytes, n_starts) → (best reactances, achieved SPA).
+        self.max_spa: dict[tuple[bytes, int], tuple[np.ndarray, float]] = {}
+
+    def trim(self) -> None:
+        """Restart the memos once they exceed the (generous) size cap."""
+        for memo in (self.spa, self.opf, self.max_spa):
+            if len(memo) > _CONTEXT_MAX_ENTRIES:
+                memo.clear()
+
+    @staticmethod
+    def reuse_max_spa_safe(network: PowerNetwork, n_starts: int = 6) -> bool:
+        """Whether the max-SPA search is RNG-free for this network.
+
+        True when the D-FACTS box is small enough for full corner
+        enumeration (``<= _MAX_ENUMERATED_DFACTS`` devices) *and* large
+        enough that the enumerated corners already cover the requested
+        polish starts (``2^k >= n_starts``), so no random corners or
+        starts are ever drawn — serving the memo then leaves a caller's
+        generator in exactly the state recomputation would.
+        """
+        k = len(network.dfacts_branches)
+        return k <= _MAX_ENUMERATED_DFACTS and 2**k >= max(2, int(n_starts))
+
 
 @dataclass(frozen=True)
 class MTDDesignResult:
@@ -106,6 +162,7 @@ def design_mtd_perturbation(
     n_random_starts: int = 2,
     max_iterations: int = 200,
     seed: int | np.random.Generator | None = 0,
+    context: DesignContext | None = None,
 ) -> MTDDesignResult:
     """Select an MTD perturbation meeting an SPA target at minimum cost.
 
@@ -137,6 +194,12 @@ def design_mtd_perturbation(
         Iteration cap per local solve of the joint method.
     seed:
         Seed for the random starting points.
+    context:
+        Optional :class:`DesignContext` shared by repeated calls against the
+        same attacker view and load vector (the daily-operation tuning loop
+        passes one per hour).  Serving memo hits is bit-identical to
+        recomputing; a context must not be reused across different attacker
+        reactances or loads.
 
     Returns
     -------
@@ -166,11 +229,12 @@ def design_mtd_perturbation(
             attacker_reactances=base_x,
             loads_mw=loads,
             seed=seed,
+            context=context,
         )
 
     two_stage = _two_stage_design(
         network, attacker_matrix, base_x, loads, gamma_threshold,
-        preferred=preferred, seed=seed,
+        preferred=preferred, seed=seed, context=context,
     )
     if method == "two-stage":
         return two_stage
@@ -195,6 +259,7 @@ def max_spa_perturbation(
     n_starts: int = 6,
     require_feasible_dispatch: bool = True,
     seed: int | np.random.Generator | None = 0,
+    context: DesignContext | None = None,
 ) -> MTDDesignResult:
     """Find the perturbation maximising ``γ(H_t, H'(x'))`` within D-FACTS limits.
 
@@ -217,7 +282,9 @@ def max_spa_perturbation(
     attacker_matrix = reduced_measurement_matrix(network, base_x)
     loads = network.loads_mw() if loads_mw is None else np.asarray(loads_mw, dtype=float)
 
-    best_x, best_spa = _maximize_spa(network, attacker_matrix, base_x, n_starts=n_starts, seed=seed)
+    best_x, best_spa = _maximize_spa_memoized(
+        network, attacker_matrix, base_x, n_starts=n_starts, seed=seed, context=context
+    )
     try:
         opf = _dispatch_for(network, best_x, loads)
     except MTDDesignError:
@@ -334,6 +401,26 @@ def _maximize_spa(
     return best_full, spa_of_reactances(network, attacker_matrix, best_full)
 
 
+def _maximize_spa_memoized(
+    network: PowerNetwork,
+    attacker_matrix: np.ndarray,
+    base_x: np.ndarray,
+    n_starts: int,
+    seed: int | np.random.Generator | None,
+    context: DesignContext | None,
+) -> tuple[np.ndarray, float]:
+    """:func:`_maximize_spa` with context reuse when it is provably RNG-free."""
+    if context is None or not DesignContext.reuse_max_spa_safe(network, n_starts):
+        return _maximize_spa(network, attacker_matrix, base_x, n_starts=n_starts, seed=seed)
+    key = (base_x.tobytes(), int(n_starts))
+    hit = context.max_spa.get(key)
+    if hit is None:
+        hit = _maximize_spa(network, attacker_matrix, base_x, n_starts=n_starts, seed=seed)
+        context.max_spa[key] = hit
+        context.trim()
+    return hit[0].copy(), hit[1]
+
+
 #: Number of candidate perturbation directions priced by the two-stage
 #: design.  Each direction costs one short line search plus one LP solve.
 _TWO_STAGE_DIRECTIONS: int = 12
@@ -347,6 +434,7 @@ def _two_stage_design(
     gamma_threshold: float,
     preferred: np.ndarray | None,
     seed: int | np.random.Generator | None,
+    context: DesignContext | None = None,
 ) -> MTDDesignResult:
     """Cost-aware heuristic for the SPA-constrained design.
 
@@ -364,15 +452,29 @@ def _two_stage_design(
     indices, lower, upper = _dfacts_box(network)
     rng = as_generator(seed)
 
-    max_x, max_spa = _maximize_spa(network, attacker_matrix, base_x, n_starts=6, seed=rng)
+    max_x, max_spa = _maximize_spa_memoized(
+        network, attacker_matrix, base_x, n_starts=6, seed=rng, context=context
+    )
     if max_spa + 1e-9 < gamma_threshold:
         raise MTDDesignError(
             f"the D-FACTS range cannot achieve γ_th={gamma_threshold:.3f} rad "
             f"(maximum achievable SPA is {max_spa:.3f} rad)"
         )
 
-    def spa_of_full(x_full: np.ndarray) -> float:
-        return spa_of_reactances(network, attacker_matrix, x_full)
+    if context is None:
+
+        def spa_of_full(x_full: np.ndarray) -> float:
+            return spa_of_reactances(network, attacker_matrix, x_full)
+
+    else:
+
+        def spa_of_full(x_full: np.ndarray) -> float:
+            key = x_full.tobytes()
+            value = context.spa.get(key)
+            if value is None:
+                value = spa_of_reactances(network, attacker_matrix, x_full)
+                context.spa[key] = value
+            return value
 
     # Candidate far points: the continuous maximiser plus box corners ranked
     # by their SPA (only corners that can meet the threshold are useful).
@@ -395,14 +497,27 @@ def _two_stage_design(
 
     best: tuple[float, np.ndarray, float, OPFResult] | None = None
 
+    def priced_opf(candidate_x: np.ndarray) -> OPFResult | None:
+        """Dispatch-only OPF at ``candidate_x``; ``None`` when infeasible."""
+        if context is not None:
+            key = candidate_x.tobytes()
+            if key in context.opf:
+                return context.opf[key]
+        try:
+            opf = solve_dc_opf(network, reactances=candidate_x, loads_mw=loads)
+        except OPFInfeasibleError:
+            opf = None
+        if context is not None:
+            context.opf[candidate_x.tobytes()] = opf
+        return opf
+
     def consider(candidate_x: np.ndarray) -> None:
         nonlocal best
         candidate_spa = spa_of_full(candidate_x)
         if candidate_spa + 1e-9 < gamma_threshold:
             return
-        try:
-            opf = solve_dc_opf(network, reactances=candidate_x, loads_mw=loads)
-        except OPFInfeasibleError:
+        opf = priced_opf(candidate_x)
+        if opf is None:
             return
         if best is None or opf.cost < best[0]:
             best = (opf.cost, candidate_x, candidate_spa, opf)
@@ -424,6 +539,8 @@ def _two_stage_design(
             for t in steps:
                 consider(anchor + t * (far - anchor))
 
+    if context is not None:
+        context.trim()
     if best is None:
         # Every qualifying perturbation left the dispatch infeasible.
         raise MTDDesignError(
@@ -532,6 +649,7 @@ def _dispatch_for(network: PowerNetwork, reactances: np.ndarray, loads: np.ndarr
 
 
 __all__ = [
+    "DesignContext",
     "MTDDesignResult",
     "design_mtd_perturbation",
     "max_spa_perturbation",

@@ -6,8 +6,8 @@ trace for one day.  At each hour ``t'``:
 * the no-MTD OPF is solved for the current load (this is the cost baseline
   and also defines the measurement matrix ``H_{t'}`` of the unperturbed
   system);
-* the attacker is assumed to know the measurement matrix of the *previous*
-  hour, ``H_t`` (their knowledge is one hour stale);
+* the attacker is assumed to know the measurement matrix of an earlier
+  hour, ``H_t`` (their knowledge is one hour stale by default);
 * the SPA threshold ``γ_th`` is tuned to the smallest value whose designed
   perturbation achieves the effectiveness target (the paper uses
   ``η'(0.9) ≥ 0.9``), and the corresponding operational-cost increase is
@@ -15,6 +15,23 @@ trace for one day.  At each hour ``t'``:
 
 The per-hour records carry all three subspace angles plotted in Fig. 11:
 ``γ(H_t, H_{t'})``, ``γ(H_t, H'_{t'})`` and ``γ(H_{t'}, H'_{t'})``.
+
+:class:`DailyMTDScheduler` is the historical entry point, kept as a thin
+compatibility wrapper over the time-series operation engine
+(:mod:`repro.timeseries`): it builds the equivalent
+:class:`~repro.engine.spec.ScenarioSpec` (explicit load trace, legacy
+per-hour seed derivation) and converts the engine's records back into
+:class:`DailyOperationRecord` objects.  At ``warmup="fresh"`` — the
+historical hour-0 behaviour — it is record-for-record identical to the
+pre-refactor serial loop at the same seeds (golden-pinned in the tests);
+the *default* is the bug-fixed ``warmup="wrap-around"``, which gives the
+hour-0 attacker the previous day's last-hour matrix instead of perfectly
+fresh knowledge, so hour 0's record intentionally differs from the
+historical output.  New code should use
+:class:`~repro.timeseries.OperationEngine` with
+:func:`~repro.timeseries.daily_operation_spec` directly — same results,
+plus content hashing, caching, hour-level parallelism and campaign
+integration.
 """
 
 from __future__ import annotations
@@ -24,16 +41,9 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.exceptions import MTDDesignError, OPFInfeasibleError
-from repro.grid.matrices import reduced_measurement_matrix
+from repro.exceptions import MTDDesignError
 from repro.grid.network import PowerNetwork
-from repro.mtd.cost import mtd_operational_cost
-from repro.mtd.design import DesignMethod, design_mtd_perturbation
-from repro.mtd.effectiveness import EffectivenessEvaluator
-from repro.mtd.subspace import subspace_angle
-from repro.opf.dc_opf import solve_dc_opf
-from repro.opf.reactance_opf import solve_reactance_opf
-from repro.opf.result import OPFResult
+from repro.mtd.design import DesignMethod
 
 
 @dataclass(frozen=True)
@@ -111,6 +121,9 @@ class DailyOperationResult:
 class DailyMTDScheduler:
     """Simulate hourly MTD operation over a load profile.
 
+    Compatibility wrapper over :class:`repro.timeseries.OperationEngine`;
+    see the module docstring.
+
     Parameters
     ----------
     network:
@@ -141,7 +154,21 @@ class DailyMTDScheduler:
           faster, but an MTD perturbation that happens to relieve congestion
           can then appear free.
     seed:
-        Base seed; each hour derives its own stream.
+        Base seed; each hour derives its own stream (the historical
+        ``seed + hour`` scheme, kept for record-for-record compatibility).
+    warmup:
+        Attacker knowledge of the first simulated hour: ``"wrap-around"``
+        (default) uses the previous day's last hour — the horizon is
+        treated as one day of a stationary pattern, so ``γ(H_t, H_{t'})``
+        is meaningful from hour 0 of Fig. 11 — while ``"fresh"`` reproduces
+        the historical behaviour of handing hour 0 the *current* matrix
+        (perfectly fresh knowledge, which pins the first plotted angle to
+        zero).
+    tuning_method:
+        ``"scan"`` (default) probes the grid linearly exactly like the
+        historical loop; ``"bisect"`` selects the same threshold in
+        ``O(log K)`` probes whenever effectiveness is monotone along the
+        grid.
     """
 
     def __init__(
@@ -158,179 +185,95 @@ class DailyMTDScheduler:
         design_method: DesignMethod = "two-stage",
         cost_baseline: str = "reactance-opf",
         seed: int = 0,
+        warmup: str = "wrap-around",
+        tuning_method: str = "scan",
     ) -> None:
+        from repro.exceptions import ConfigurationError
+        from repro.timeseries.spec import ProfileSpec, TuningSpec
+        from repro.timeseries.engine import daily_operation_spec
+
         if len(hourly_total_loads_mw) == 0:
             raise MTDDesignError("the load profile must contain at least one hour")
-        self._network = network
-        self._profile = [float(v) for v in hourly_total_loads_mw]
-        self._delta = float(delta)
-        self._eta_target = float(eta_target)
-        if gamma_grid is None:
-            gamma_grid = np.arange(0.05, 0.50, 0.05)
-        self._gamma_grid = [float(g) for g in gamma_grid]
-        self._n_attacks = int(n_attacks)
-        self._attack_ratio = float(attack_ratio)
-        self._noise_sigma = float(noise_sigma)
-        self._alpha = float(false_positive_rate)
         if cost_baseline not in ("reactance-opf", "dispatch-only"):
             raise MTDDesignError(
                 f"unknown cost_baseline {cost_baseline!r}; "
                 "use 'reactance-opf' or 'dispatch-only'"
             )
-        self._design_method = design_method
-        self._cost_baseline = cost_baseline
-        self._seed = int(seed)
+        if gamma_grid is None:
+            gamma_grid = np.arange(0.05, 0.50, 0.05)
+        self._network = network
+        try:
+            self._spec = daily_operation_spec(
+                name="daily-mtd-scheduler",
+                # The wrapper operates whatever network object it was handed,
+                # which the case registry cannot name; the placeholder fails
+                # fast (CaseNotFoundError) if the spec is ever executed
+                # without this wrapper's network (see the ``spec`` property).
+                case="daily-scheduler-network",
+                cost_baseline=cost_baseline,
+                profile=ProfileSpec(
+                    explicit_totals_mw=tuple(float(v) for v in hourly_total_loads_mw),
+                    peak_load_mw=None,
+                    min_load_mw=None,
+                ),
+                tuning=TuningSpec(
+                    method=tuning_method,
+                    gamma_grid=tuple(float(g) for g in gamma_grid),
+                    delta=float(delta),
+                    eta_target=float(eta_target),
+                ),
+                warmup=warmup,
+                rng="legacy",
+                n_attacks=int(n_attacks),
+                attack_ratio=float(attack_ratio),
+                noise_sigma=float(noise_sigma),
+                false_positive_rate=float(false_positive_rate),
+                design_method=design_method,
+                seed=int(seed),
+            )
+        except ConfigurationError as error:
+            # The historical scheduler surfaced configuration problems as
+            # design errors; keep that contract for existing callers.
+            raise MTDDesignError(str(error)) from error
+
+    @property
+    def spec(self):
+        """The equivalent :class:`~repro.engine.spec.ScenarioSpec`.
+
+        Its ``grid.case`` is a non-registry placeholder — the wrapper runs
+        against the network *object* it was constructed with, which the
+        case registry cannot name — so executing this spec anywhere but
+        through this wrapper fails fast instead of silently simulating a
+        registry case.  To run the same experiment through the engine or a
+        campaign, build the spec with
+        :func:`repro.timeseries.daily_operation_spec` and a registered
+        ``case`` (equivalence asserted in ``tests/test_timeseries.py``).
+        """
+        return self._spec
 
     # ------------------------------------------------------------------
     def run(self) -> DailyOperationResult:
         """Simulate the whole day and return the per-hour records."""
+        from repro.timeseries.engine import OperationEngine
+
+        operation = OperationEngine().run(self._spec, network=self._network)
         result = DailyOperationResult()
-        nominal_total = self._network.total_load_mw()
-        previous_baseline: OPFResult | None = None
-        previous_loads: np.ndarray | None = None
-
-        for hour, total_load in enumerate(self._profile):
-            scale = total_load / nominal_total
-            loads = self._network.loads_mw() * scale
-            baseline = self._solve_baseline(loads, previous_baseline)
-
-            # Attacker knowledge: the measurement matrix of the previous hour
-            # (or the current one for the first hour of the simulation).
-            knowledge_reactances = (
-                previous_baseline.reactances if previous_baseline is not None else baseline.reactances
-            )
-            knowledge_angles = self._operating_angles(
-                knowledge_reactances,
-                previous_loads if previous_loads is not None else loads,
-            )
-            record = self._operate_hour(
-                hour, loads, baseline, knowledge_reactances, knowledge_angles
-            )
-            result.records.append(record)
-            previous_baseline = baseline
-            previous_loads = loads
-        return result
-
-    # ------------------------------------------------------------------
-    def _solve_baseline(
-        self, loads: np.ndarray, previous_baseline: OPFResult | None
-    ) -> OPFResult:
-        """No-MTD OPF of one hour (paper eq. (1)).
-
-        When the reactance-OPF baseline is selected, the previous hour's
-        D-FACTS settings are kept whenever re-optimising them would not
-        lower the cost (within a small tolerance).  Real operators do not
-        move the devices without economic benefit, and this stability is
-        what makes consecutive no-MTD measurement matrices nearly identical
-        — the ``γ(H_t, H_{t'}) ≈ 0`` observation of Fig. 11.
-        """
-        if self._cost_baseline != "reactance-opf" or not self._network.dfacts_branches:
-            return solve_dc_opf(self._network, loads_mw=loads)
-        optimised = solve_reactance_opf(
-            self._network, loads_mw=loads, n_random_starts=1, seed=self._seed
-        )
-        if previous_baseline is None:
-            return optimised
-        try:
-            carried_over = solve_dc_opf(
-                self._network, reactances=previous_baseline.reactances, loads_mw=loads
-            )
-        except OPFInfeasibleError:
-            return optimised
-        if carried_over.cost <= optimised.cost * (1.0 + self._carryover_tolerance):
-            return carried_over
-        return optimised
-
-    #: Keep the previous hour's D-FACTS settings unless re-optimising them
-    #: saves more than this relative amount (0.5 %).  Mirrors operator
-    #: practice and keeps consecutive no-MTD measurement matrices nearly
-    #: identical, as observed in the paper's Fig. 11.
-    _carryover_tolerance: float = 5e-3
-
-    def _operating_angles(self, reactances: np.ndarray, loads: np.ndarray) -> np.ndarray:
-        opf = solve_dc_opf(self._network, reactances=reactances, loads_mw=loads)
-        return opf.angles_rad
-
-    def _operate_hour(
-        self,
-        hour: int,
-        loads: np.ndarray,
-        baseline: OPFResult,
-        knowledge_reactances: np.ndarray,
-        knowledge_angles: np.ndarray,
-    ) -> DailyOperationRecord:
-        evaluator = EffectivenessEvaluator(
-            self._network,
-            operating_angles_rad=knowledge_angles,
-            base_reactances=knowledge_reactances,
-            noise_sigma=self._noise_sigma,
-            false_positive_rate=self._alpha,
-            n_attacks=self._n_attacks,
-            attack_ratio=self._attack_ratio,
-            seed=self._seed + hour,
-        )
-        design, achieved_eta, gamma_used = self._tune_gamma(
-            evaluator, loads, preferred_reactances=baseline.reactances
-        )
-
-        cost = mtd_operational_cost(
-            self._network,
-            design.perturbed_reactances,
-            loads_mw=loads,
-            baseline_result=baseline,
-        )
-        attacker_matrix = evaluator.attacker_matrix
-        baseline_matrix = reduced_measurement_matrix(self._network, baseline.reactances)
-        mtd_matrix = reduced_measurement_matrix(self._network, design.perturbed_reactances)
-        return DailyOperationRecord(
-            hour=hour,
-            total_load_mw=float(np.sum(loads)),
-            baseline_cost=cost.baseline_cost,
-            mtd_cost=cost.mtd_cost,
-            cost_increase_percent=cost.percent_increase,
-            gamma_threshold=gamma_used,
-            achieved_eta=achieved_eta,
-            spa_attacker_vs_baseline=subspace_angle(attacker_matrix, baseline_matrix),
-            spa_attacker_vs_mtd=subspace_angle(attacker_matrix, mtd_matrix),
-            spa_baseline_vs_mtd=subspace_angle(baseline_matrix, mtd_matrix),
-        )
-
-    def _tune_gamma(
-        self,
-        evaluator: EffectivenessEvaluator,
-        loads: np.ndarray,
-        preferred_reactances: np.ndarray | None = None,
-    ):
-        """Smallest γ_th on the grid whose design meets the effectiveness target."""
-        last_design = None
-        last_eta = 0.0
-        last_gamma = self._gamma_grid[0]
-        for gamma in self._gamma_grid:
-            try:
-                design = design_mtd_perturbation(
-                    self._network,
-                    gamma_threshold=gamma,
-                    attacker_reactances=evaluator.base_reactances,
-                    loads_mw=loads,
-                    method=self._design_method,
-                    preferred_reactances=preferred_reactances,
-                    seed=self._seed,
+        for record in operation.records:
+            result.records.append(
+                DailyOperationRecord(
+                    hour=record.hour,
+                    total_load_mw=record.total_load_mw,
+                    baseline_cost=record.baseline_cost,
+                    mtd_cost=record.mtd_cost,
+                    cost_increase_percent=record.cost_increase_percent,
+                    gamma_threshold=record.gamma_threshold,
+                    achieved_eta=record.achieved_eta,
+                    spa_attacker_vs_baseline=record.spa_attacker_vs_baseline,
+                    spa_attacker_vs_mtd=record.spa_attacker_vs_mtd,
+                    spa_baseline_vs_mtd=record.spa_baseline_vs_mtd,
                 )
-            except MTDDesignError:
-                break
-            effectiveness = evaluator.evaluate(design.perturbed_reactances)
-            eta = effectiveness.eta(self._delta)
-            last_design, last_eta, last_gamma = design, eta, gamma
-            if eta >= self._eta_target:
-                return design, eta, gamma
-        if last_design is None:
-            raise MTDDesignError(
-                "no SPA threshold on the tuning grid produced a feasible MTD design"
             )
-        # The target could not be met within the D-FACTS limits; return the
-        # most effective design found (the paper's target is achievable for
-        # the IEEE cases, but synthetic networks may be more constrained).
-        return last_design, last_eta, last_gamma
+        return result
 
 
 __all__ = ["DailyMTDScheduler", "DailyOperationRecord", "DailyOperationResult"]

@@ -253,3 +253,37 @@ class TestFig7Acceptance:
         )
         assert len(groups) == 10
         assert all(g.n_scenarios == 10 and g.summary.n_trials == 10 for g in groups)
+
+
+class TestQueryPlanOrderMemo:
+    def test_repeated_queries_plan_once_per_store(self, tmp_path, monkeypatch):
+        """``query_results`` memoises the spec-hash → plan-position map per
+        store (keyed on the manifest's plan hash), so repeated queries do
+        not re-expand and re-hash the whole campaign plan."""
+        run_campaign(quick_definition(), tmp_path / "m.campaign")
+        store = CampaignOrchestrator(tmp_path / "m.campaign").store
+
+        from repro.campaign import plan as plan_module
+
+        real_plan = plan_module.plan_campaign
+        calls = {"n": 0}
+
+        def counting_plan(definition):
+            calls["n"] += 1
+            return real_plan(definition)
+
+        monkeypatch.setattr(plan_module, "plan_campaign", counting_plan)
+        first = query_results(store)
+        for _ in range(3):
+            again = query_results(store)
+            assert [r.spec.content_hash() for r in again] == [
+                r.spec.content_hash() for r in first
+            ]
+        assert calls["n"] == 1, "repeated queries re-expanded the plan"
+
+        # A different store instance over the same directory pays the
+        # expansion once more (the memo is per instance), then caches.
+        other = CampaignOrchestrator(tmp_path / "m.campaign").store
+        query_results(other)
+        query_results(other)
+        assert calls["n"] == 2

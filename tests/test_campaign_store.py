@@ -283,6 +283,19 @@ class TestQuery:
         assert len(groups) == 4
         assert all(g.n_scenarios == 1 for g in groups)
 
+    def test_bool_where_clause_is_strict(self, store):
+        """``bool`` subclasses ``int``: a true/false clause must not match
+        numeric spec values (and numeric clauses must not match bools)."""
+        # Every stored spec has mtd.perturb_all_dfacts == True.
+        assert len(query_results(store, where={"mtd.perturb_all_dfacts": True})) == 4
+        assert query_results(store, where={"mtd.perturb_all_dfacts": False}) == []
+        # bool clause vs numeric spec value: no match either direction.
+        assert query_results(store, where={"mtd.perturb_all_dfacts": 1}) == []
+        assert query_results(store, where={"mtd.perturb_all_dfacts": 1.0}) == []
+        assert query_results(store, where={"n_trials": True}) == []
+        # Numeric comparisons still coerce int/float.
+        assert len(query_results(store, where={"n_trials": 3.0})) == 4
+
     def test_export_csv(self, store, tmp_path):
         out = tmp_path / "out.csv"
         results = query_results(store)
