@@ -1,0 +1,173 @@
+"""Network-core benchmark — perturbed-network derivation throughput.
+
+The MTD loop derives thousands of reactance-perturbed variants of one base
+case and rebuilds their measurement matrices.  This benchmark times that
+exact hot path through both representations:
+
+* **legacy object path** — the pre-arrays semantics, reproduced verbatim:
+  a fully validated :class:`~repro.grid.network.PowerNetwork` construction
+  (per-branch dataclass rebuild + structural re-validation including the
+  BFS connectivity scan) followed by a from-scratch reduced measurement
+  matrix build (``fromiter`` endpoint extraction + fresh incidence).
+* **arrays path** — :meth:`NetworkArrays.with_reactances
+  <repro.grid.arrays.NetworkArrays.with_reactances>` (positivity check +
+  array swap, topology cache shared) followed by the cached-topology
+  builders of :mod:`repro.grid.matrices`.
+
+Both paths produce bit-identical matrices (asserted here and in
+``tests/test_grid_arrays.py``); the arrays path must be at least
+:data:`MIN_SPEEDUP` times faster at the quick/full budgets.  Timings land
+in ``BENCH_network.json`` (checked by CI's docs job).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.grid.cases.registry import load_case
+from repro.grid.matrices import reduced_measurement_matrix
+from repro.grid.network import PowerNetwork
+
+from _bench_utils import emit_bench_json, print_banner, time_call
+
+#: Cases timed by the benchmark (small paper case + large synthetic case).
+CASES = ("ieee14", "synthetic118")
+
+#: Minimum arrays-path speedup asserted at the quick/full budgets.
+MIN_SPEEDUP = 3.0
+
+#: Perturbations derived per timed run, by scale name.
+N_DERIVATIONS = {"smoke": 20, "quick": 200, "full": 1000}
+
+
+def _legacy_derive(network: PowerNetwork, reactances: np.ndarray) -> PowerNetwork:
+    """Pre-arrays ``with_reactances``: full validated construction."""
+    new_branches = tuple(
+        branch.with_reactance(reactances[branch.index]) for branch in network.branches
+    )
+    return PowerNetwork(
+        buses=network.buses,
+        branches=new_branches,
+        generators=network.generators,
+        base_mva=network.base_mva,
+        name=network.name,
+    )
+
+
+def _legacy_reduced_measurement_matrix(network: PowerNetwork) -> np.ndarray:
+    """Pre-arrays matrix build: endpoints and incidence rebuilt per call."""
+    L, N = network.n_branches, network.n_buses
+    from_bus = np.fromiter((b.from_bus for b in network.branches), dtype=int, count=L)
+    to_bus = np.fromiter((b.to_bus for b in network.branches), dtype=int, count=L)
+    A = np.zeros((N, L))
+    cols = np.arange(L)
+    A[from_bus, cols] = 1.0
+    A[to_bus, cols] = -1.0
+    x = np.fromiter((b.reactance for b in network.branches), dtype=float, count=L)
+    b = 1.0 / x
+    flows = b[:, None] * A.T
+    injections = (A * b) @ A.T
+    H = np.vstack([flows, -flows, injections])
+    slack = network.slack_bus
+    keep = np.array([i for i in range(N) if i != slack], dtype=int)
+    return H[:, keep]
+
+
+def _perturbations(network: PowerNetwork, count: int) -> list[np.ndarray]:
+    """Reproducible ±20 % random reactance vectors for one case."""
+    base = network.reactances()
+    rng = np.random.default_rng(network.n_buses)
+    return [
+        base * (1.0 + rng.uniform(-0.2, 0.2, base.shape[0])) for _ in range(count)
+    ]
+
+
+def compare_paths(case: str, count: int) -> dict:
+    """Time ``count`` derivation+rebuild round trips through both paths."""
+    network = load_case(case)
+    xs = _perturbations(network, count)
+
+    def run_legacy() -> np.ndarray:
+        H = None
+        for x in xs:
+            H = _legacy_reduced_measurement_matrix(_legacy_derive(network, x))
+        return H
+
+    def run_arrays() -> np.ndarray:
+        arrays = network.arrays
+        H = None
+        for x in xs:
+            H = reduced_measurement_matrix(arrays.with_reactances(x))
+        return H
+
+    legacy_H, legacy_seconds = time_call(run_legacy)
+    arrays_H, arrays_seconds = time_call(run_arrays)
+    assert np.array_equal(legacy_H, arrays_H), "paths disagree"
+    return {
+        "case": case,
+        "n_derivations": count,
+        "legacy_seconds": legacy_seconds,
+        "arrays_seconds": arrays_seconds,
+        "speedup": legacy_seconds / arrays_seconds if arrays_seconds > 0 else float("inf"),
+        "legacy_per_derivation_us": 1e6 * legacy_seconds / count,
+        "arrays_per_derivation_us": 1e6 * arrays_seconds / count,
+    }
+
+
+def bench_network_core(benchmark, scale):
+    """Time perturbed-network derivation: arrays vs legacy object path."""
+    count = N_DERIVATIONS.get(scale.name, N_DERIVATIONS["quick"])
+    results, total_seconds = benchmark.pedantic(
+        time_call,
+        args=(lambda: [compare_paths(case, count) for case in CASES],),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_banner(
+        f"Network core — {count} perturbed-network derivations + measurement-"
+        f"matrix rebuilds per case (scale: {scale.name})"
+    )
+    print(
+        format_table(
+            ["case", "legacy (s)", "arrays (s)", "speedup", "us/derivation (arrays)"],
+            [
+                [
+                    r["case"],
+                    f"{r['legacy_seconds']:.4f}",
+                    f"{r['arrays_seconds']:.4f}",
+                    f"{r['speedup']:.1f}x",
+                    f"{r['arrays_per_derivation_us']:.1f}",
+                ]
+                for r in results
+            ],
+        )
+    )
+    print(
+        "The arrays path derives a perturbed variant with one positivity "
+        "check and rebuilds H from the shared topology cache; the legacy "
+        "path re-validates the whole network (including a BFS connectivity "
+        "scan) and rebuilds the incidence matrix from the component objects."
+    )
+
+    emit_bench_json(
+        "network",
+        {
+            "scale": scale.name,
+            "n_derivations": count,
+            "total_seconds": total_seconds,
+            "cases": results,
+            "min_speedup_target": MIN_SPEEDUP,
+        },
+    )
+
+    # Bit-identity is asserted inside compare_paths; the speedup target
+    # holds at real budgets (tiny smoke runs are overhead-dominated, but in
+    # practice clear 3x as well).
+    if scale.name != "smoke":
+        for r in results:
+            assert r["speedup"] >= MIN_SPEEDUP, (
+                f"{r['case']}: arrays-path speedup {r['speedup']:.2f}x below "
+                f"the {MIN_SPEEDUP}x target"
+            )

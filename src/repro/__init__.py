@@ -35,10 +35,13 @@ from repro.grid import (
     Branch,
     Bus,
     Generator,
+    NetworkArrays,
     PowerNetwork,
     available_cases,
     load_case,
+    load_matpower_case,
     measurement_matrix,
+    network_from_matpower,
     reduced_measurement_matrix,
 )
 from repro.grid.cases import case4gs, case14, case30, synthetic_case
@@ -120,7 +123,7 @@ from repro.timeseries import (
     daily_operation_spec,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     # exceptions
@@ -139,12 +142,15 @@ __all__ = [
     "Branch",
     "Generator",
     "PowerNetwork",
+    "NetworkArrays",
     "case4gs",
     "case14",
     "case30",
     "synthetic_case",
     "load_case",
     "available_cases",
+    "load_matpower_case",
+    "network_from_matpower",
     "measurement_matrix",
     "reduced_measurement_matrix",
     # power flow / OPF

@@ -157,6 +157,57 @@ def _cmd_campaign_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cases_list(args: argparse.Namespace) -> int:
+    from repro.grid.cases.registry import available_cases
+    from repro.grid.matpower import bundled_matpower_cases
+
+    print("registered cases (usable as GridSpec.case / --set grid.case=...):")
+    for name in available_cases():
+        print(f"  {name}")
+    bundled = bundled_matpower_cases()
+    if bundled:
+        print("bundled MATPOWER case files (file-referenced, e.g. grid.case=case30.m):")
+        for name in bundled:
+            print(f"  {name}")
+    print('any other MATPOWER file loads by path: grid.case="path/to/case.m"')
+    return 0
+
+
+def _cmd_cases_info(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.grid.cases.registry import load_case
+
+    network = load_case(args.name)
+    arrays = network.arrays
+    rates = arrays.branch_rate_mw
+    finite = rates[np.isfinite(rates)]
+    print(f"case {args.name!r} (network name: {network.name or 'unnamed'!r})")
+    rows = [
+        ["buses", network.n_buses],
+        ["branches", network.n_branches],
+        ["generators", network.n_generators],
+        ["measurements (2L+N)", network.n_measurements],
+        ["slack bus", network.slack_bus],
+        ["base MVA", f"{network.base_mva:g}"],
+        ["total load (MW)", f"{network.total_load_mw():.1f}"],
+        ["generation capacity (MW)", f"{network.total_generation_capacity_mw():.1f}"],
+        ["D-FACTS branches", len(network.dfacts_branches)],
+    ]
+    print(format_table(["property", "value"], rows))
+    if finite.size:
+        print(
+            f"line ratings: {finite.size}/{rates.size} limited, "
+            f"min {finite.min():g} MW, median {float(np.median(finite)):g} MW, "
+            f"max {finite.max():g} MW"
+        )
+    else:
+        print(f"line ratings: all {rates.size} branches unlimited")
+    if network.dfacts_branches:
+        print(f"D-FACTS on branches (0-based): {list(network.dfacts_branches)}")
+    return 0
+
+
 def _cmd_suites_list(args: argparse.Namespace) -> int:
     print("registered campaigns (scenario suites):")
     for name in available_campaigns():
@@ -241,6 +292,22 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--fields", default=None, metavar="PATH[,PATH...]",
                        help="extra spec fields for the CSV export")
     query.set_defaults(handler=_cmd_campaign_query)
+
+    cases = commands.add_parser("cases", help="inspect available grid cases")
+    case_actions = cases.add_subparsers(dest="action", required=True)
+
+    cases_list = case_actions.add_parser(
+        "list", help="list registered cases and bundled MATPOWER files"
+    )
+    cases_list.set_defaults(handler=_cmd_cases_list)
+
+    cases_info = case_actions.add_parser(
+        "info", help="bus/branch/generator counts, slack, ratings of one case"
+    )
+    cases_info.add_argument(
+        "name", help="registry name (e.g. ieee14) or MATPOWER file (e.g. case30.m)"
+    )
+    cases_info.set_defaults(handler=_cmd_cases_info)
 
     suites = commands.add_parser("suites", help="canonical suites as campaigns")
     suite_actions = suites.add_subparsers(dest="action", required=True)

@@ -56,7 +56,15 @@ class GridSpec:
     ----------
     case:
         Name in the case registry (:func:`repro.grid.cases.load_case`),
-        e.g. ``"ieee14"`` or ``"synthetic57"``.
+        e.g. ``"ieee14"`` or ``"synthetic57"`` — or a file-referenced
+        MATPOWER case: names ending in ``.m`` resolve to an existing path
+        or a bundled case file (``"case30.m"``), loaded through
+        :mod:`repro.grid.matpower`, so any standard test case can back a
+        scenario.  Note the content hash covers the case *name*, not the
+        file bytes: after editing a referenced ``.m`` file, use a new file
+        name (or clear the cache/store) so stale results are not replayed,
+        and prefer absolute paths when campaigns may resume from another
+        working directory.
     case_kwargs:
         Extra keyword arguments for the case factory, stored as a sorted
         tuple of ``(key, value)`` pairs so the spec stays hashable.

@@ -42,6 +42,8 @@ def network_for_grid(grid: GridSpec) -> PowerNetwork:
 
     The single owner of GridSpec → PowerNetwork construction; the
     time-series engine's per-process network cache builds on it too.
+    Registry names and file-referenced MATPOWER cases (``"case30.m"``)
+    both resolve through :func:`repro.grid.cases.registry.load_case`.
     """
     network = load_case(grid.case, **grid.kwargs())
     if grid.load_scale != 1.0:

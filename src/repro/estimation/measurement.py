@@ -17,8 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import EstimationError
-from repro.grid.matrices import non_slack_indices, reduced_measurement_matrix
-from repro.grid.network import PowerNetwork
+from repro.grid.matrices import NetworkLike, reduced_measurement_matrix
 from repro.utils.rng import as_generator
 
 #: Default measurement noise standard deviation, in per unit (0.15 % of the
@@ -42,7 +41,12 @@ class MeasurementSystem:
     Parameters
     ----------
     network:
-        The underlying network (provides topology and slack bus).
+        The underlying network (provides topology and slack bus); either a
+        :class:`~repro.grid.network.PowerNetwork` or its
+        :class:`~repro.grid.arrays.NetworkArrays` view — both carry the
+        shared topology cache, so building the measurement matrix for a
+        perturbed reactance vector reuses the incidence matrix instead of
+        rebuilding it.
     reactances:
         Branch reactances defining the measurement matrix.  Defaults to the
         network's nominal reactances.
@@ -51,7 +55,7 @@ class MeasurementSystem:
         identical for every sensor as in the paper's simulations.
     """
 
-    network: PowerNetwork
+    network: NetworkLike
     reactances: tuple[float, ...] | None = None
     noise_sigma: float = DEFAULT_NOISE_SIGMA
 
@@ -73,7 +77,7 @@ class MeasurementSystem:
     @classmethod
     def for_network(
         cls,
-        network: PowerNetwork,
+        network: NetworkLike,
         reactances: np.ndarray | None = None,
         noise_sigma: float = DEFAULT_NOISE_SIGMA,
     ) -> "MeasurementSystem":
@@ -114,7 +118,7 @@ class MeasurementSystem:
             raise EstimationError(
                 f"expected {self.network.n_buses} angles, got {angles.shape[0]}"
             )
-        return angles[non_slack_indices(self.network)]
+        return angles[self.network.arrays.topology.non_slack()]
 
     def noiseless_measurements(self, angles_rad: np.ndarray) -> np.ndarray:
         """The exact measurement vector ``Hθ`` for a full angle vector (p.u.)."""

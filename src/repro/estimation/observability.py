@@ -12,8 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.grid.matrices import non_slack_indices, reduced_measurement_matrix
-from repro.grid.network import PowerNetwork
+from repro.grid.matrices import NetworkLike, reduced_measurement_matrix
 from repro.utils.linalg import is_full_column_rank
 
 
@@ -42,7 +41,7 @@ class ObservabilityReport:
 
 
 def is_observable(
-    network: PowerNetwork,
+    network: NetworkLike,
     measurement_rows: np.ndarray | None = None,
     reactances: np.ndarray | None = None,
 ) -> bool:
@@ -52,7 +51,7 @@ def is_observable(
 
 
 def observability_report(
-    network: PowerNetwork,
+    network: NetworkLike,
     measurement_rows: np.ndarray | None = None,
     reactances: np.ndarray | None = None,
     tol: float = 1e-9,
@@ -96,7 +95,7 @@ def observability_report(
 
 
 def _selected_matrix(
-    network: PowerNetwork,
+    network: NetworkLike,
     measurement_rows: np.ndarray | None,
     reactances: np.ndarray | None,
 ) -> np.ndarray:

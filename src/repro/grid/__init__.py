@@ -10,12 +10,21 @@ a small, explicit Python data model:
   convenience constructors (``with_reactances``, ``with_loads``, ...) used
   heavily by the MTD machinery, which constantly derives perturbed copies of
   a base network.
+* :class:`~repro.grid.arrays.NetworkArrays` — the structure-of-arrays
+  compute view behind ``PowerNetwork.arrays``: one NumPy array per field
+  plus a topology cache shared across reactance-only derivatives, making
+  MTD perturbation near-free on the hot path.
 * :mod:`repro.grid.matrices` — branch-bus incidence, susceptance and
-  measurement-matrix builders for the DC model.
+  measurement-matrix builders for the DC model (accepting either network
+  representation).
 * :mod:`repro.grid.cases` — the IEEE 4-bus, 14-bus and 30-bus benchmark
   systems used in the paper plus a synthetic-network generator.
+* :mod:`repro.grid.matpower` — MATPOWER ``.m`` case import (bundled
+  ``case14.m`` / ``case30.m`` plus arbitrary files via
+  ``load_case("path/to/case.m")``).
 """
 
+from repro.grid.arrays import NetworkArrays
 from repro.grid.components import Branch, Bus, Generator
 from repro.grid.network import PowerNetwork
 from repro.grid.matrices import (
@@ -26,12 +35,19 @@ from repro.grid.matrices import (
     susceptance_matrix,
 )
 from repro.grid.cases import load_case, available_cases
+from repro.grid.matpower import (
+    bundled_matpower_cases,
+    load_matpower_case,
+    network_from_matpower,
+    parse_matpower,
+)
 
 __all__ = [
     "Bus",
     "Branch",
     "Generator",
     "PowerNetwork",
+    "NetworkArrays",
     "incidence_matrix",
     "branch_susceptance_matrix",
     "susceptance_matrix",
@@ -39,4 +55,8 @@ __all__ = [
     "reduced_measurement_matrix",
     "load_case",
     "available_cases",
+    "parse_matpower",
+    "network_from_matpower",
+    "load_matpower_case",
+    "bundled_matpower_cases",
 ]

@@ -67,15 +67,29 @@ def load_case(name: str, **kwargs) -> PowerNetwork:
     Additional keyword arguments are forwarded to the case constructor
     (e.g. ``load_case("ieee14", dfacts_range=0.3)``).
 
+    Names ending in ``.m`` are *file-referenced* MATPOWER cases rather than
+    registry entries: they resolve to an existing path or to one of the
+    bundled case files (``load_case("case30.m")``), and load through
+    :func:`repro.grid.matpower.load_matpower_case` — so scenario specs can
+    name any MATPOWER case directly (``GridSpec(case="case30.m")``).
+
     Raises
     ------
     CaseNotFoundError
-        If ``name`` is not registered.
+        If ``name`` is not registered (or a referenced ``.m`` file does not
+        exist).
     ConfigurationError
         If the case was registered with ``validate_ratings=True`` and the
         constructed network fails the line-rating validation.
     """
-    key = name.strip().lower()
+    raw = name.strip()
+    if raw.lower().endswith(".m"):
+        # Imported lazily: the MATPOWER parser is only needed for
+        # file-referenced cases.
+        from repro.grid.matpower import load_matpower_case, resolve_case_file
+
+        return load_matpower_case(resolve_case_file(raw), **kwargs)
+    key = raw.lower()
     if key not in _REGISTRY:
         raise CaseNotFoundError(
             f"unknown case {name!r}; available cases: {', '.join(available_cases())}"

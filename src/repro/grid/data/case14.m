@@ -1,0 +1,78 @@
+function mpc = case14
+% IEEE 14-bus test case with the evaluation settings of Lakshminarayana &
+% Yau (DSN 2018): Table IV generator fleet with linear costs, 160/60 MW
+% branch ratings and the paper's D-FACTS placement (mpc.dfacts).
+
+%% MATPOWER Case Format : Version 2
+mpc.version = '2';
+
+%% system MVA base
+mpc.baseMVA = 100;
+
+%% bus data
+%	bus_i	type	Pd	Qd	Gs	Bs	area	Vm	Va	baseKV	zone	Vmax	Vmin
+mpc.bus = [
+	1	3	0	0	0	0	1	1	0	0	1	1.06	0.94;
+	2	2	21.7	0	0	0	1	1	0	0	1	1.06	0.94;
+	3	2	94.2	0	0	0	1	1	0	0	1	1.06	0.94;
+	4	1	47.8	0	0	0	1	1	0	0	1	1.06	0.94;
+	5	1	7.6	0	0	0	1	1	0	0	1	1.06	0.94;
+	6	2	11.2	0	0	0	1	1	0	0	1	1.06	0.94;
+	7	1	0	0	0	0	1	1	0	0	1	1.06	0.94;
+	8	2	0	0	0	0	1	1	0	0	1	1.06	0.94;
+	9	1	29.5	0	0	0	1	1	0	0	1	1.06	0.94;
+	10	1	9	0	0	0	1	1	0	0	1	1.06	0.94;
+	11	1	3.5	0	0	0	1	1	0	0	1	1.06	0.94;
+	12	1	6.1	0	0	0	1	1	0	0	1	1.06	0.94;
+	13	1	13.5	0	0	0	1	1	0	0	1	1.06	0.94;
+	14	1	14.9	0	0	0	1	1	0	0	1	1.06	0.94;
+];
+
+%% generator data
+%	bus	Pg	Qg	Qmax	Qmin	Vg	mBase	status	Pmax	Pmin
+mpc.gen = [
+	1	0	0	0	0	1	100	1	300	0;
+	2	0	0	0	0	1	100	1	50	0;
+	3	0	0	0	0	1	100	1	30	0;
+	6	0	0	0	0	1	100	1	50	0;
+	8	0	0	0	0	1	100	1	20	0;
+];
+
+%% branch data
+%	fbus	tbus	r	x	b	rateA	rateB	rateC	ratio	angle	status	angmin	angmax
+mpc.branch = [
+	1	2	0	0.05917	0	160	0	0	0	0	1	-360	360;
+	1	5	0	0.22304	0	60	0	0	0	0	1	-360	360;
+	2	3	0	0.19797	0	60	0	0	0	0	1	-360	360;
+	2	4	0	0.17632	0	60	0	0	0	0	1	-360	360;
+	2	5	0	0.17388	0	60	0	0	0	0	1	-360	360;
+	3	4	0	0.17103	0	60	0	0	0	0	1	-360	360;
+	4	5	0	0.04211	0	60	0	0	0	0	1	-360	360;
+	4	7	0	0.20912	0	60	0	0	0	0	1	-360	360;
+	4	9	0	0.55618	0	60	0	0	0	0	1	-360	360;
+	5	6	0	0.25202	0	60	0	0	0	0	1	-360	360;
+	6	11	0	0.1989	0	60	0	0	0	0	1	-360	360;
+	6	12	0	0.25581	0	60	0	0	0	0	1	-360	360;
+	6	13	0	0.13027	0	60	0	0	0	0	1	-360	360;
+	7	8	0	0.17615	0	60	0	0	0	0	1	-360	360;
+	7	9	0	0.11001	0	60	0	0	0	0	1	-360	360;
+	9	10	0	0.0845	0	60	0	0	0	0	1	-360	360;
+	9	14	0	0.27038	0	60	0	0	0	0	1	-360	360;
+	10	11	0	0.19207	0	60	0	0	0	0	1	-360	360;
+	12	13	0	0.19988	0	60	0	0	0	0	1	-360	360;
+	13	14	0	0.34802	0	60	0	0	0	0	1	-360	360;
+];
+
+%% generator cost data (linear: MODEL=2, NCOST=2 -> c1 c0)
+%	model	startup	shutdown	n	c1	c0
+mpc.gencost = [
+	2	0	0	2	20	0;
+	2	0	0	2	30	0;
+	2	0	0	2	40	0;
+	2	0	0	2	50	0;
+	2	0	0	2	35	0;
+];
+
+%% MTD extension: D-FACTS-equipped branches (1-indexed) and eta_max
+mpc.dfacts = [1	5	9	11	17	19];
+mpc.dfacts_range = 0.5;

@@ -68,13 +68,53 @@ def network_to_dict(network: PowerNetwork) -> dict[str, Any]:
     }
 
 
+def _reject_duplicate_indices(records: Any, kind: str, key: str = "index") -> None:
+    """Raise a targeted error when two records claim the same index.
+
+    Without this check a duplicated index surfaces much later, inside the
+    network's structural validation, as an opaque "indices must form the
+    contiguous range" message listing every index; here the offending
+    record is named directly.
+    """
+    seen: set[int] = set()
+    for item in records:
+        try:
+            index = int(item[key])
+        except (KeyError, TypeError, ValueError):
+            continue  # missing/malformed fields are reported by the parse below
+        if index in seen:
+            raise GridModelError(
+                f"duplicate {kind} index {index} in case dictionary"
+            )
+        seen.add(index)
+
+
 def network_from_dict(data: Mapping[str, Any]) -> PowerNetwork:
-    """Reconstruct a :class:`PowerNetwork` from :func:`network_to_dict` output."""
+    """Reconstruct a :class:`PowerNetwork` from :func:`network_to_dict` output.
+
+    Raises
+    ------
+    GridModelError
+        On schema mismatches, missing fields, or duplicated bus/branch/
+        generator indices (reported with the offending index).
+    """
     version = data.get("schema_version", SCHEMA_VERSION)
     if version != SCHEMA_VERSION:
         raise GridModelError(
             f"unsupported schema version {version}; this library supports {SCHEMA_VERSION}"
         )
+    _reject_duplicate_indices(data.get("bus", ()), "bus")
+    _reject_duplicate_indices(data.get("branch", ()), "branch")
+    _reject_duplicate_indices(data.get("gen", ()), "generator")
+
+    def _by_index(records: Any) -> list:
+        # PowerNetwork requires component tuples ordered by index; accept
+        # dictionaries whose records are listed in any order.
+        try:
+            return sorted(records, key=lambda item: int(item["index"]))
+        except (KeyError, TypeError, ValueError):
+            return list(records)  # malformed fields are reported below
+
     try:
         buses = tuple(
             Bus(
@@ -83,7 +123,7 @@ def network_from_dict(data: Mapping[str, Any]) -> PowerNetwork:
                 name=str(item.get("name", "")),
                 is_slack=bool(item.get("is_slack", False)),
             )
-            for item in data["bus"]
+            for item in _by_index(data["bus"])
         )
         branches = tuple(
             Branch(
@@ -97,7 +137,7 @@ def network_from_dict(data: Mapping[str, Any]) -> PowerNetwork:
                 dfacts_max_factor=float(item.get("dfacts_max_factor", 1.0)),
                 name=str(item.get("name", "")),
             )
-            for item in data["branch"]
+            for item in _by_index(data["branch"])
         )
         generators = tuple(
             Generator(
@@ -108,7 +148,7 @@ def network_from_dict(data: Mapping[str, Any]) -> PowerNetwork:
                 cost_per_mwh=float(item.get("cost_per_mwh", 0.0)),
                 name=str(item.get("name", "")),
             )
-            for item in data["gen"]
+            for item in _by_index(data["gen"])
         )
     except KeyError as exc:
         raise GridModelError(f"missing required field in case dictionary: {exc}") from exc

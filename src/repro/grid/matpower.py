@@ -1,0 +1,422 @@
+"""MATPOWER ``.m`` case import.
+
+The paper takes its case data from MATPOWER; this module reads standard
+MATPOWER case files (``mpc.baseMVA`` / ``mpc.bus`` / ``mpc.branch`` /
+``mpc.gen`` / ``mpc.gencost`` blocks) directly into a validated
+:class:`~repro.grid.network.PowerNetwork`, which opens every standard test
+case to the scenario engine beyond the four hand-coded ones — any ``.m``
+file can be named as a :class:`~repro.engine.spec.GridSpec` case (the
+registry resolves names ending in ``.m``, see
+:func:`repro.grid.cases.registry.load_case`).
+
+Model mapping
+-------------
+The library implements the paper's DC model, so only the DC-relevant
+columns are consumed:
+
+* ``bus``: ``BUS_I`` (IDs may be non-contiguous; they are mapped to the
+  0-based positions of their rows), ``BUS_TYPE`` (exactly one type-3
+  reference bus becomes the slack) and ``PD`` (MW load).
+* ``branch``: ``F_BUS``/``T_BUS``, the series reactance ``BR_X`` (p.u.),
+  ``RATE_A`` (MW; zero or negative means unlimited, MATPOWER's convention)
+  and ``BR_STATUS`` (out-of-service rows are dropped).
+* ``gen``: ``GEN_BUS``, ``PMAX``/``PMIN`` (MW) and ``GEN_STATUS``
+  (out-of-service units are dropped).
+* ``gencost``: polynomial model (``MODEL == 2``) rows aligned with ``gen``;
+  the *linear* coefficient becomes
+  :attr:`~repro.grid.components.Generator.cost_per_mwh`.  Higher-order
+  terms are ignored — the library's OPF layers price linear costs only
+  (see the note in :mod:`repro.grid.cases.case30`).  Piecewise-linear cost
+  rows (``MODEL == 1``) are rejected.
+
+D-FACTS extension
+-----------------
+MATPOWER has no D-FACTS notion, so the importer honours two optional
+MTD extension fields — ``mpc.dfacts`` (1-indexed positions into the
+imported, in-service branch list) and ``mpc.dfacts_range`` (``η_max``) —
+letting a case file fully describe a paper experiment; explicit
+``dfacts_branches=...`` / ``dfacts_range=...`` keyword arguments override
+the file.  The bundled ``data/case14.m`` / ``data/case30.m`` carry the
+paper's placements and import bit-identically to the hand-coded
+``ieee14`` / ``ieee30`` factories (asserted in
+``tests/test_grid_matpower.py``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import CaseNotFoundError, GridModelError
+from repro.grid.components import Branch, Bus, Generator
+from repro.grid.network import PowerNetwork
+from repro.utils.units import DEFAULT_BASE_MVA
+
+#: Directory holding the MATPOWER case files shipped with the package.
+BUNDLED_CASE_DIR = Path(__file__).resolve().parent / "data"
+
+_MATRIX_RE = re.compile(r"mpc\.(\w+)\s*=\s*\[(.*?)\]\s*;", re.DOTALL)
+_SCALAR_RE = re.compile(r"mpc\.(\w+)\s*=\s*([^\[;\n]+?)\s*;")
+_FUNCTION_RE = re.compile(r"function\s+\w+\s*=\s*(\w+)")
+
+#: MATPOWER reference-bus type code (``BUS_TYPE == 3``).
+_REF_BUS_TYPE = 3
+
+
+@dataclass(frozen=True)
+class MatpowerCase:
+    """The raw numeric blocks of one parsed MATPOWER case.
+
+    Attributes
+    ----------
+    name:
+        The case function name (``function mpc = case14`` → ``"case14"``),
+        empty when the file has no function header.
+    base_mva:
+        The system MVA base (``mpc.baseMVA``).
+    bus, branch, gen, gencost:
+        The numeric matrices, one row per record, in file order;
+        ``gen``/``gencost`` may be empty.
+    dfacts:
+        1-indexed D-FACTS branch positions from the ``mpc.dfacts``
+        extension field (empty when absent).
+    dfacts_range:
+        ``η_max`` from ``mpc.dfacts_range`` (``None`` when absent).
+    """
+
+    name: str
+    base_mva: float
+    bus: np.ndarray
+    branch: np.ndarray
+    gen: np.ndarray
+    gencost: np.ndarray
+    dfacts: tuple[int, ...] = ()
+    dfacts_range: float | None = None
+
+
+def _strip_comments(text: str) -> str:
+    """Remove MATLAB ``%`` comments (to end of line)."""
+    return "\n".join(line.split("%", 1)[0] for line in text.splitlines())
+
+
+def _parse_matrix(name: str, body: str) -> np.ndarray:
+    """Parse the body of a ``[...]`` block into a 2-D float array."""
+    rows: list[list[float]] = []
+    for chunk in re.split(r"[;\n]", body):
+        tokens = chunk.replace(",", " ").split()
+        if not tokens:
+            continue
+        try:
+            rows.append([float(token) for token in tokens])
+        except ValueError as exc:
+            raise GridModelError(
+                f"mpc.{name}: cannot parse row {chunk.strip()!r}: {exc}"
+            ) from exc
+    if not rows:
+        return np.empty((0, 0))
+    width = len(rows[0])
+    for i, row in enumerate(rows):
+        if len(row) != width:
+            raise GridModelError(
+                f"mpc.{name}: row {i + 1} has {len(row)} columns, expected {width}"
+            )
+    return np.asarray(rows, dtype=float)
+
+
+def parse_matpower(text: str) -> MatpowerCase:
+    """Parse MATPOWER ``.m`` case text into its numeric blocks.
+
+    Only ``mpc.<field>`` assignments are consumed; the surrounding MATLAB
+    syntax (function header, comments) is tolerated and ignored.
+
+    Raises
+    ------
+    GridModelError
+        If a required block (``bus``, ``branch``) is missing or malformed.
+    """
+    stripped = _strip_comments(text)
+    matrices: dict[str, np.ndarray] = {}
+    for match in _MATRIX_RE.finditer(stripped):
+        matrices[match.group(1)] = _parse_matrix(match.group(1), match.group(2))
+    scalars: dict[str, str] = {}
+    for match in _SCALAR_RE.finditer(stripped):
+        if match.group(1) not in matrices:
+            scalars[match.group(1)] = match.group(2).strip().strip("'\"")
+
+    if "bus" not in matrices or matrices["bus"].size == 0:
+        raise GridModelError("MATPOWER case has no (non-empty) mpc.bus block")
+    if "branch" not in matrices or matrices["branch"].size == 0:
+        raise GridModelError("MATPOWER case has no (non-empty) mpc.branch block")
+
+    function = _FUNCTION_RE.search(text)
+    base_mva = DEFAULT_BASE_MVA
+    if "baseMVA" in scalars:
+        try:
+            base_mva = float(scalars["baseMVA"])
+        except ValueError as exc:
+            raise GridModelError(
+                f"cannot parse mpc.baseMVA = {scalars['baseMVA']!r}"
+            ) from exc
+
+    dfacts: tuple[int, ...] = ()
+    if "dfacts" in matrices and matrices["dfacts"].size:
+        dfacts = tuple(int(v) for v in matrices["dfacts"].ravel())
+    dfacts_range: float | None = None
+    if "dfacts_range" in scalars:
+        try:
+            dfacts_range = float(scalars["dfacts_range"])
+        except ValueError as exc:
+            raise GridModelError(
+                f"cannot parse mpc.dfacts_range = {scalars['dfacts_range']!r}"
+            ) from exc
+
+    empty = np.empty((0, 0))
+    return MatpowerCase(
+        name=function.group(1) if function else "",
+        base_mva=base_mva,
+        bus=matrices["bus"],
+        branch=matrices["branch"],
+        gen=matrices.get("gen", empty),
+        gencost=matrices.get("gencost", empty),
+        dfacts=dfacts,
+        dfacts_range=dfacts_range,
+    )
+
+
+def _column(matrix: np.ndarray, index: int, default: float | None = None) -> np.ndarray:
+    """Column ``index`` of ``matrix``, or a constant default when absent."""
+    if matrix.ndim == 2 and matrix.shape[1] > index:
+        return matrix[:, index]
+    if default is None:
+        raise GridModelError(
+            f"MATPOWER matrix with {matrix.shape[1] if matrix.ndim == 2 else 0} "
+            f"columns is missing required column {index + 1}"
+        )
+    return np.full(matrix.shape[0] if matrix.ndim == 2 else 0, default)
+
+
+def _linear_costs(case: MatpowerCase, gen_mask: np.ndarray) -> np.ndarray:
+    """Per-generator linear cost ($/MWh) from the polynomial gencost block."""
+    n_gen = int(case.gen.shape[0]) if case.gen.ndim == 2 else 0
+    if case.gencost.size == 0:
+        return np.zeros(int(np.sum(gen_mask)))
+    gencost = case.gencost
+    if gencost.shape[0] < n_gen:
+        raise GridModelError(
+            f"mpc.gencost has {gencost.shape[0]} rows for {n_gen} generators"
+        )
+    costs = []
+    for row_index in np.flatnonzero(gen_mask):
+        row = gencost[row_index]
+        model = int(row[0])
+        if model != 2:
+            raise GridModelError(
+                f"mpc.gencost row {row_index + 1}: only polynomial cost rows "
+                f"(MODEL = 2) are supported, got MODEL = {model}"
+            )
+        n_cost = int(row[3])
+        coeffs = row[4 : 4 + n_cost]
+        if coeffs.shape[0] != n_cost:
+            raise GridModelError(
+                f"mpc.gencost row {row_index + 1}: NCOST = {n_cost} but only "
+                f"{coeffs.shape[0]} coefficients are present"
+            )
+        # Coefficients are highest order first; the g^1 term is the linear
+        # $/MWh price (higher-order terms are ignored, see module docstring).
+        costs.append(float(coeffs[-2]) if n_cost >= 2 else 0.0)
+    return np.asarray(costs, dtype=float)
+
+
+def network_from_matpower(
+    source: str | MatpowerCase,
+    dfacts_branches: Sequence[int] | None = None,
+    dfacts_range: float | None = None,
+    name: str | None = None,
+) -> PowerNetwork:
+    """Build a validated :class:`PowerNetwork` from a MATPOWER case.
+
+    Parameters
+    ----------
+    source:
+        Raw ``.m`` file text or an already parsed :class:`MatpowerCase`.
+    dfacts_branches:
+        1-indexed positions (in the imported, in-service branch list) of the
+        branches carrying D-FACTS devices; overrides the file's
+        ``mpc.dfacts`` extension field.
+    dfacts_range:
+        ``η_max`` of the devices; overrides ``mpc.dfacts_range``
+        (default 0.5, the paper's setting, when neither is given).
+    name:
+        Network name; defaults to the case function name.
+
+    Raises
+    ------
+    GridModelError
+        On malformed case data (duplicate bus IDs, missing reference bus,
+        unknown endpoints, unsupported cost models, ...).
+    """
+    case = parse_matpower(source) if isinstance(source, str) else source
+
+    bus_ids = [int(v) for v in _column(case.bus, 0)]
+    position: dict[int, int] = {}
+    for pos, bus_id in enumerate(bus_ids):
+        if bus_id in position:
+            raise GridModelError(f"duplicate bus ID {bus_id} in mpc.bus")
+        position[bus_id] = pos
+    bus_types = [int(v) for v in _column(case.bus, 1, default=1.0)]
+    slack_ids = [bus_ids[i] for i, t in enumerate(bus_types) if t == _REF_BUS_TYPE]
+    if len(slack_ids) != 1:
+        raise GridModelError(
+            f"expected exactly one reference bus (BUS_TYPE = 3), found {len(slack_ids)}"
+        )
+    loads = _column(case.bus, 2, default=0.0)
+    buses = tuple(
+        Bus(
+            index=position[bus_id],
+            load_mw=float(loads[i]),
+            name=f"Bus {bus_id}",
+            is_slack=(bus_id == slack_ids[0]),
+        )
+        for i, bus_id in enumerate(bus_ids)
+    )
+
+    status = _column(case.branch, 10, default=1.0)
+    rates = _column(case.branch, 5, default=0.0)
+    branches: list[Branch] = []
+    for row_index in range(case.branch.shape[0]):
+        if status[row_index] == 0:
+            continue
+        f_id = int(case.branch[row_index, 0])
+        t_id = int(case.branch[row_index, 1])
+        if f_id not in position or t_id not in position:
+            raise GridModelError(
+                f"mpc.branch row {row_index + 1} references unknown bus "
+                f"({f_id} -> {t_id})"
+            )
+        rate = float(rates[row_index])
+        branches.append(
+            Branch(
+                index=len(branches),
+                from_bus=position[f_id],
+                to_bus=position[t_id],
+                reactance=float(case.branch[row_index, 3]),
+                # MATPOWER: RATE_A <= 0 disables the limit.
+                rate_mw=rate if rate > 0 else float("inf"),
+                name=f"Line {len(branches) + 1} ({f_id}-{t_id})",
+            )
+        )
+    if not branches:
+        raise GridModelError("MATPOWER case has no in-service branches")
+
+    if case.gen.size:
+        gen_status = _column(case.gen, 7, default=1.0)
+        gen_mask = gen_status > 0
+        p_max = _column(case.gen, 8, default=0.0)
+        p_min = _column(case.gen, 9, default=0.0)
+        costs = _linear_costs(case, gen_mask)
+        generators = []
+        for g, row_index in enumerate(np.flatnonzero(gen_mask)):
+            gen_bus_id = int(case.gen[row_index, 0])
+            if gen_bus_id not in position:
+                raise GridModelError(
+                    f"mpc.gen row {row_index + 1} references unknown bus {gen_bus_id}"
+                )
+            generators.append(
+                Generator(
+                    index=g,
+                    bus=position[gen_bus_id],
+                    p_max_mw=float(p_max[row_index]),
+                    p_min_mw=max(0.0, float(p_min[row_index])),
+                    cost_per_mwh=float(costs[g]),
+                    name=f"Gen bus {gen_bus_id}",
+                )
+            )
+        generators = tuple(generators)
+    else:
+        generators = ()
+
+    network = PowerNetwork.from_components(
+        buses=buses,
+        branches=branches,
+        generators=generators,
+        base_mva=case.base_mva,
+        name=case.name if name is None else name,
+    )
+
+    selected = case.dfacts if dfacts_branches is None else tuple(dfacts_branches)
+    if selected:
+        eta = dfacts_range
+        if eta is None:
+            eta = 0.5 if case.dfacts_range is None else case.dfacts_range
+        zero_based = []
+        for number in selected:
+            index = int(number) - 1
+            if index < 0 or index >= len(branches):
+                raise GridModelError(
+                    f"D-FACTS branch number {number} is outside 1..{len(branches)}"
+                )
+            zero_based.append(index)
+        network = network.with_dfacts_on(zero_based, 1.0 - eta, 1.0 + eta)
+    return network
+
+
+def load_matpower_case(path: str | Path, **kwargs) -> PowerNetwork:
+    """Read a MATPOWER ``.m`` file into a :class:`PowerNetwork`.
+
+    Keyword arguments are forwarded to :func:`network_from_matpower`
+    (``dfacts_branches``, ``dfacts_range``, ``name``).
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise CaseNotFoundError(f"cannot read MATPOWER case file {path}: {exc}") from exc
+    try:
+        return network_from_matpower(text, **kwargs)
+    except GridModelError as exc:
+        raise GridModelError(f"{path}: {exc}") from exc
+
+
+def bundled_matpower_cases() -> tuple[str, ...]:
+    """File names of the MATPOWER cases shipped with the package."""
+    if not BUNDLED_CASE_DIR.is_dir():
+        return ()
+    return tuple(sorted(p.name for p in BUNDLED_CASE_DIR.glob("*.m")))
+
+
+def resolve_case_file(reference: str | Path) -> Path:
+    """Resolve a ``.m`` case reference to a file path.
+
+    An existing filesystem path wins.  *Bare* names (no directory
+    component) additionally fall back to the bundled cases
+    (:data:`BUNDLED_CASE_DIR`), so ``"case30.m"`` works anywhere; a missing
+    explicit path is an error — silently substituting a bundled file of the
+    same name would load the wrong grid data.
+    """
+    path = Path(reference)
+    if path.is_file():
+        return path
+    if str(reference) == path.name:
+        bundled = BUNDLED_CASE_DIR / path.name
+        if bundled.is_file():
+            return bundled
+        raise CaseNotFoundError(
+            f"MATPOWER case file {str(reference)!r} not found; bundled cases: "
+            f"{', '.join(bundled_matpower_cases()) or '(none)'}"
+        )
+    raise CaseNotFoundError(f"MATPOWER case file {str(reference)!r} does not exist")
+
+
+__all__ = [
+    "MatpowerCase",
+    "parse_matpower",
+    "network_from_matpower",
+    "load_matpower_case",
+    "bundled_matpower_cases",
+    "resolve_case_file",
+    "BUNDLED_CASE_DIR",
+]

@@ -14,6 +14,20 @@ Because the slack-bus angle is fixed to zero, state estimation and the MTD
 subspace analysis operate on the *reduced* matrices with the slack column
 removed, which are full column rank for a connected network.
 
+Representations
+---------------
+Every builder accepts either a validated
+:class:`~repro.grid.network.PowerNetwork` or its structure-of-arrays view
+:class:`~repro.grid.arrays.NetworkArrays` — internally everything runs on
+the arrays representation (``network.arrays``), whose
+:class:`~repro.grid.arrays.TopologyCache` holds the incidence matrix, the
+non-slack index vector and the generator-incidence matrix.  Those artifacts
+depend only on the wiring, so across the thousands of reactance-perturbed
+variants the MTD loop evaluates they are built exactly once and shared;
+only the cheap reciprocal-reactance scaling runs per call.  The arithmetic
+is unchanged from the historical per-call builders, so outputs are
+bit-identical (asserted in ``tests/test_grid_arrays.py``).
+
 Backends
 --------
 The dense builders return ``numpy.ndarray`` and exploit the diagonal
@@ -28,10 +42,16 @@ cases tractable without changing the numerics of the small IEEE cases.
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
 import scipy.sparse as sp
 
+from repro.grid.arrays import NetworkArrays
 from repro.grid.network import PowerNetwork
+
+#: Either network representation; builders use ``network.arrays`` internally.
+NetworkLike = Union[PowerNetwork, NetworkArrays]
 
 #: Bus count at which the solver layers (PTDF, DC power flow) switch from
 #: dense factorisations to the ``scipy.sparse`` backend.  The IEEE 14/30
@@ -41,7 +61,7 @@ from repro.grid.network import PowerNetwork
 SPARSE_BUS_THRESHOLD: int = 100
 
 
-def use_sparse_backend(network: PowerNetwork, sparse: bool | None = None) -> bool:
+def use_sparse_backend(network: NetworkLike, sparse: bool | None = None) -> bool:
     """Decide whether ``network`` should use the sparse backend.
 
     Parameters
@@ -57,53 +77,36 @@ def use_sparse_backend(network: PowerNetwork, sparse: bool | None = None) -> boo
     return network.n_buses >= SPARSE_BUS_THRESHOLD
 
 
-def _branch_endpoints(network: PowerNetwork) -> tuple[np.ndarray, np.ndarray]:
-    """From/to bus index vectors of every branch, shape ``(L,)`` each."""
-    from_bus = np.fromiter((b.from_bus for b in network.branches), dtype=int, count=network.n_branches)
-    to_bus = np.fromiter((b.to_bus for b in network.branches), dtype=int, count=network.n_branches)
-    return from_bus, to_bus
-
-
 def _reciprocal_reactances(
-    network: PowerNetwork, reactances: np.ndarray | None = None
+    arrays: NetworkArrays, reactances: np.ndarray | None = None
 ) -> np.ndarray:
     """The diagonal of ``D`` as a vector ``b = 1/x``, shape ``(L,)``."""
-    x = network.reactances() if reactances is None else np.asarray(reactances, dtype=float)
-    if x.shape[0] != network.n_branches:
+    x = arrays.branch_reactance if reactances is None else np.asarray(reactances, dtype=float)
+    if x.shape[0] != arrays.n_branches:
         raise ValueError(
-            f"expected {network.n_branches} reactances, got {x.shape[0]}"
+            f"expected {arrays.n_branches} reactances, got {x.shape[0]}"
         )
     if np.any(x <= 0):
         raise ValueError("all reactances must be strictly positive")
     return 1.0 / x
 
 
-def incidence_matrix(network: PowerNetwork) -> np.ndarray:
-    """Return the ``N x L`` branch-bus incidence matrix ``A``."""
-    A = np.zeros((network.n_buses, network.n_branches))
-    from_bus, to_bus = _branch_endpoints(network)
-    cols = np.arange(network.n_branches)
-    A[from_bus, cols] = 1.0
-    A[to_bus, cols] = -1.0
-    return A
+def incidence_matrix(network: NetworkLike) -> np.ndarray:
+    """Return the ``N x L`` branch-bus incidence matrix ``A``.
+
+    A mutable copy of the topology-cached matrix; internal consumers read
+    the cache directly.
+    """
+    return network.arrays.topology.incidence().copy()
 
 
-def incidence_matrix_sparse(network: PowerNetwork) -> sp.csr_matrix:
+def incidence_matrix_sparse(network: NetworkLike) -> sp.csr_matrix:
     """Return ``A`` as a ``scipy.sparse`` CSR matrix, shape ``(N, L)``."""
-    from_bus, to_bus = _branch_endpoints(network)
-    cols = np.arange(network.n_branches)
-    rows = np.concatenate([from_bus, to_bus])
-    data = np.concatenate(
-        [np.ones(network.n_branches), -np.ones(network.n_branches)]
-    )
-    return sp.csr_matrix(
-        (data, (rows, np.concatenate([cols, cols]))),
-        shape=(network.n_buses, network.n_branches),
-    )
+    return network.arrays.topology.incidence_sparse().copy()
 
 
 def branch_susceptance_matrix(
-    network: PowerNetwork, reactances: np.ndarray | None = None
+    network: NetworkLike, reactances: np.ndarray | None = None
 ) -> np.ndarray:
     """Return the diagonal matrix ``D`` of reciprocal branch reactances.
 
@@ -114,47 +117,49 @@ def branch_susceptance_matrix(
     reactances:
         Optional override vector (one entry per branch).  Used by the MTD
         layer to evaluate candidate perturbations without materialising a new
-        :class:`PowerNetwork`.
+        network object.
     """
-    return np.diag(_reciprocal_reactances(network, reactances))
+    return np.diag(_reciprocal_reactances(network.arrays, reactances))
 
 
 def branch_susceptance_matrix_sparse(
-    network: PowerNetwork, reactances: np.ndarray | None = None
+    network: NetworkLike, reactances: np.ndarray | None = None
 ) -> sp.dia_matrix:
     """Return ``D`` as a sparse diagonal matrix, shape ``(L, L)``."""
-    return sp.diags(_reciprocal_reactances(network, reactances))
+    return sp.diags(_reciprocal_reactances(network.arrays, reactances))
 
 
 def susceptance_matrix(
-    network: PowerNetwork, reactances: np.ndarray | None = None
+    network: NetworkLike, reactances: np.ndarray | None = None
 ) -> np.ndarray:
     """Return the nodal susceptance matrix ``B = A D Aᵀ`` (``N x N``)."""
-    A = incidence_matrix(network)
-    b = _reciprocal_reactances(network, reactances)
+    arrays = network.arrays
+    A = arrays.topology.incidence()
+    b = _reciprocal_reactances(arrays, reactances)
     return (A * b) @ A.T
 
 
 def susceptance_matrix_sparse(
-    network: PowerNetwork, reactances: np.ndarray | None = None
+    network: NetworkLike, reactances: np.ndarray | None = None
 ) -> sp.csr_matrix:
     """Return ``B = A D Aᵀ`` as a CSR matrix, shape ``(N, N)``."""
-    A = incidence_matrix_sparse(network)
-    D = branch_susceptance_matrix_sparse(network, reactances)
+    arrays = network.arrays
+    A = arrays.topology.incidence_sparse()
+    D = sp.diags(_reciprocal_reactances(arrays, reactances))
     return (A @ D @ A.T).tocsr()
 
 
 def reduced_susceptance_matrix(
-    network: PowerNetwork, reactances: np.ndarray | None = None
+    network: NetworkLike, reactances: np.ndarray | None = None
 ) -> np.ndarray:
     """Return ``B`` with the slack row and column removed (invertible)."""
     B = susceptance_matrix(network, reactances)
-    keep = non_slack_indices(network)
+    keep = network.arrays.topology.non_slack()
     return B[np.ix_(keep, keep)]
 
 
 def reduced_susceptance_matrix_sparse(
-    network: PowerNetwork, reactances: np.ndarray | None = None
+    network: NetworkLike, reactances: np.ndarray | None = None
 ) -> sp.csc_matrix:
     """Return the reduced ``B`` as CSC (the layout sparse LU expects).
 
@@ -162,18 +167,17 @@ def reduced_susceptance_matrix_sparse(
     :func:`non_slack_indices`.
     """
     B = susceptance_matrix_sparse(network, reactances).tocsc()
-    keep = non_slack_indices(network)
+    keep = network.arrays.topology.non_slack()
     return B[np.ix_(keep, keep)].tocsc()
 
 
-def non_slack_indices(network: PowerNetwork) -> np.ndarray:
+def non_slack_indices(network: NetworkLike) -> np.ndarray:
     """Indices of all buses except the slack bus, in ascending order."""
-    slack = network.slack_bus
-    return np.array([i for i in range(network.n_buses) if i != slack], dtype=int)
+    return network.arrays.topology.non_slack().copy()
 
 
 def measurement_matrix(
-    network: PowerNetwork, reactances: np.ndarray | None = None
+    network: NetworkLike, reactances: np.ndarray | None = None
 ) -> np.ndarray:
     """Return the full ``(2L + N) x N`` measurement matrix ``H``.
 
@@ -183,8 +187,9 @@ def measurement_matrix(
     rows ``0..L-1`` are forward flows, ``L..2L-1`` reverse flows and
     ``2L..2L+N-1`` nodal injections.
     """
-    A = incidence_matrix(network)
-    b = _reciprocal_reactances(network, reactances)
+    arrays = network.arrays
+    A = arrays.topology.incidence()
+    b = _reciprocal_reactances(arrays, reactances)
     flows = b[:, None] * A.T
     # Same expression as susceptance_matrix(), so the injection block of H
     # matches B bit-for-bit.
@@ -193,22 +198,23 @@ def measurement_matrix(
 
 
 def measurement_matrix_sparse(
-    network: PowerNetwork, reactances: np.ndarray | None = None
+    network: NetworkLike, reactances: np.ndarray | None = None
 ) -> sp.csr_matrix:
     """Return ``H`` as a CSR matrix, shape ``(2L + N, N)``.
 
     Same row ordering as :func:`measurement_matrix`; useful when only a few
     rows are consumed or when ``H`` feeds a sparse solver.
     """
-    A = incidence_matrix_sparse(network)
-    D = branch_susceptance_matrix_sparse(network, reactances)
+    arrays = network.arrays
+    A = arrays.topology.incidence_sparse()
+    D = sp.diags(_reciprocal_reactances(arrays, reactances))
     flows = (D @ A.T).tocsr()
     injections = (A @ flows).tocsr()
     return sp.vstack([flows, -flows, injections], format="csr")
 
 
 def reduced_measurement_matrix(
-    network: PowerNetwork, reactances: np.ndarray | None = None
+    network: NetworkLike, reactances: np.ndarray | None = None
 ) -> np.ndarray:
     """Return ``H`` with the slack-bus column removed.
 
@@ -218,42 +224,42 @@ def reduced_measurement_matrix(
     Theorem 1 reason about ``Col(H)`` of this full-column-rank matrix).
     """
     H = measurement_matrix(network, reactances)
-    keep = non_slack_indices(network)
+    keep = network.arrays.topology.non_slack()
     return H[:, keep]
 
 
 def reduced_measurement_matrix_sparse(
-    network: PowerNetwork, reactances: np.ndarray | None = None
+    network: NetworkLike, reactances: np.ndarray | None = None
 ) -> sp.csr_matrix:
     """Return the reduced ``H`` as CSR, shape ``(2L + N, N − 1)``."""
     H = measurement_matrix_sparse(network, reactances).tocsc()
-    keep = non_slack_indices(network)
+    keep = network.arrays.topology.non_slack()
     return H[:, keep].tocsr()
 
 
-def generator_incidence_matrix(network: PowerNetwork) -> np.ndarray:
+def generator_incidence_matrix(network: NetworkLike) -> np.ndarray:
     """Return the ``N x G`` generator-to-bus mapping matrix.
 
     Entry ``(i, g)`` is one when generator ``g`` is connected to bus ``i``,
-    so that the nodal injection vector is ``C g − l``.
+    so that the nodal injection vector is ``C g − l``.  A mutable copy of
+    the topology-cached matrix.
     """
-    C = np.zeros((network.n_buses, network.n_generators))
-    for gen in network.generators:
-        C[gen.bus, gen.index] = 1.0
-    return C
+    return network.arrays.topology.generator_incidence().copy()
 
 
 def branch_flow_matrix(
-    network: PowerNetwork, reactances: np.ndarray | None = None
+    network: NetworkLike, reactances: np.ndarray | None = None
 ) -> np.ndarray:
     """Return the ``L x N`` matrix mapping bus angles to branch flows ``D Aᵀ``."""
-    A = incidence_matrix(network)
-    b = _reciprocal_reactances(network, reactances)
+    arrays = network.arrays
+    A = arrays.topology.incidence()
+    b = _reciprocal_reactances(arrays, reactances)
     return b[:, None] * A.T
 
 
 __all__ = [
     "SPARSE_BUS_THRESHOLD",
+    "NetworkLike",
     "use_sparse_backend",
     "incidence_matrix",
     "incidence_matrix_sparse",

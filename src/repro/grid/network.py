@@ -15,6 +15,7 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.exceptions import GridModelError
+from repro.grid.arrays import NetworkArrays
 from repro.grid.components import Branch, Bus, Generator
 from repro.utils.units import DEFAULT_BASE_MVA
 
@@ -72,11 +73,15 @@ class PowerNetwork:
         if self.base_mva <= 0:
             raise GridModelError(f"base_mva must be positive, got {self.base_mva}")
 
+        # Component tuples must be *ordered by index*, not merely cover the
+        # contiguous range: the arrays view (and the matrix builders on top
+        # of it) extract fields in tuple order, so a permuted tuple would
+        # silently permute every derived vector/matrix.
         bus_indices = [bus.index for bus in self.buses]
-        if sorted(bus_indices) != list(range(len(self.buses))):
+        if bus_indices != list(range(len(self.buses))):
             raise GridModelError(
-                "bus indices must form the contiguous range 0..N-1, got "
-                f"{sorted(bus_indices)}"
+                "bus indices must form the contiguous range 0..N-1 in tuple "
+                f"order, got {bus_indices}"
             )
         slack_buses = [bus.index for bus in self.buses if bus.is_slack]
         if len(slack_buses) != 1:
@@ -85,10 +90,10 @@ class PowerNetwork:
             )
 
         branch_indices = [branch.index for branch in self.branches]
-        if sorted(branch_indices) != list(range(len(self.branches))):
+        if branch_indices != list(range(len(self.branches))):
             raise GridModelError(
-                "branch indices must form the contiguous range 0..L-1, got "
-                f"{sorted(branch_indices)}"
+                "branch indices must form the contiguous range 0..L-1 in "
+                f"tuple order, got {branch_indices}"
             )
         valid_buses = set(bus_indices)
         for branch in self.branches:
@@ -99,10 +104,10 @@ class PowerNetwork:
                 )
 
         gen_indices = [gen.index for gen in self.generators]
-        if sorted(gen_indices) != list(range(len(self.generators))):
+        if gen_indices != list(range(len(self.generators))):
             raise GridModelError(
-                "generator indices must form the contiguous range 0..G-1, got "
-                f"{sorted(gen_indices)}"
+                "generator indices must form the contiguous range 0..G-1 in "
+                f"tuple order, got {gen_indices}"
             )
         for gen in self.generators:
             if gen.bus not in valid_buses:
@@ -128,6 +133,26 @@ class PowerNetwork:
                     visited.add(neighbour)
                     frontier.append(neighbour)
         return len(visited) == len(self.buses)
+
+    # ------------------------------------------------------------------
+    # Vectorized compute representation
+    # ------------------------------------------------------------------
+    @property
+    def arrays(self) -> NetworkArrays:
+        """The structure-of-arrays compute view of this network.
+
+        Materialised lazily on first access and cached for the lifetime of
+        the (immutable) network, so the matrix builders and solver layers —
+        which all operate on :class:`~repro.grid.arrays.NetworkArrays` —
+        extract the component data and build the topology artifacts exactly
+        once per network.  Reactance-only derivatives produced by
+        :meth:`with_reactances` share the cached topology.
+        """
+        cached = self.__dict__.get("_arrays")
+        if cached is None:
+            cached = NetworkArrays.from_network(self)
+            object.__setattr__(self, "_arrays", cached)
+        return cached
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -170,17 +195,11 @@ class PowerNetwork:
     # ------------------------------------------------------------------
     def loads_mw(self) -> np.ndarray:
         """Bus load vector in MW, ordered by bus index."""
-        loads = np.zeros(self.n_buses)
-        for bus in self.buses:
-            loads[bus.index] = bus.load_mw
-        return loads
+        return self.arrays.loads_mw()
 
     def reactances(self) -> np.ndarray:
         """Branch reactance vector (per unit), ordered by branch index."""
-        x = np.zeros(self.n_branches)
-        for branch in self.branches:
-            x[branch.index] = branch.reactance
-        return x
+        return self.arrays.reactances()
 
     def reactance_bounds(self) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(x_min, x_max)`` vectors honouring the D-FACTS limits.
@@ -188,41 +207,31 @@ class PowerNetwork:
         Branches without D-FACTS have ``x_min == x_max == x`` as in the
         paper's convention.
         """
-        x_min = np.zeros(self.n_branches)
-        x_max = np.zeros(self.n_branches)
-        for branch in self.branches:
-            x_min[branch.index] = branch.reactance_min
-            x_max[branch.index] = branch.reactance_max
-        return x_min, x_max
+        return self.arrays.reactance_bounds()
 
     def flow_limits_mw(self) -> np.ndarray:
         """Branch flow limit vector ``F^max`` in MW."""
-        limits = np.zeros(self.n_branches)
-        for branch in self.branches:
-            limits[branch.index] = branch.rate_mw
-        return limits
+        return self.arrays.flow_limits_mw()
 
     def generator_buses(self) -> np.ndarray:
         """Bus index of each generator, ordered by generator index."""
-        return np.array([gen.bus for gen in self.generators], dtype=int)
+        return self.arrays.generator_buses()
 
     def generator_limits_mw(self) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(p_min, p_max)`` generator limit vectors in MW."""
-        p_min = np.array([gen.p_min_mw for gen in self.generators], dtype=float)
-        p_max = np.array([gen.p_max_mw for gen in self.generators], dtype=float)
-        return p_min, p_max
+        return self.arrays.generator_limits_mw()
 
     def generator_costs(self) -> np.ndarray:
         """Linear marginal cost vector in $/MWh, ordered by generator index."""
-        return np.array([gen.cost_per_mwh for gen in self.generators], dtype=float)
+        return self.arrays.generator_costs()
 
     def total_load_mw(self) -> float:
         """Total system demand in MW."""
-        return float(np.sum(self.loads_mw()))
+        return self.arrays.total_load_mw()
 
     def total_generation_capacity_mw(self) -> float:
         """Sum of generator maximum outputs in MW."""
-        return float(np.sum([gen.p_max_mw for gen in self.generators]))
+        return self.arrays.total_generation_capacity_mw()
 
     def branch_between(self, bus_a: int, bus_b: int) -> Branch:
         """Return the first branch connecting ``bus_a`` and ``bus_b``.
@@ -241,7 +250,15 @@ class PowerNetwork:
         """Return a copy of the network with branch reactances replaced.
 
         ``reactances`` must contain one value per branch, ordered by branch
-        index.  This is the primitive on which MTD perturbations are built.
+        index.  This is the primitive on which MTD perturbations are built,
+        so it takes the *fast derivation path*: only the checks a reactance
+        change can actually invalidate run (count and positivity — the same
+        errors the full constructor would raise), the structural
+        re-validation of ``__post_init__`` (index contiguity, slack
+        uniqueness, the BFS connectivity scan) is skipped because the
+        wiring is untouched, and the derived network shares its parent's
+        cached :class:`~repro.grid.arrays.TopologyCache` through
+        :attr:`arrays`.
         """
         x = np.asarray(reactances, dtype=float).ravel()
         if x.shape[0] != self.n_branches:
@@ -253,13 +270,14 @@ class PowerNetwork:
         new_branches = tuple(
             branch.with_reactance(x[branch.index]) for branch in self.branches
         )
-        return PowerNetwork(
-            buses=self.buses,
-            branches=new_branches,
-            generators=self.generators,
-            base_mva=self.base_mva,
-            name=self.name,
-        )
+        derived = object.__new__(PowerNetwork)
+        object.__setattr__(derived, "buses", self.buses)
+        object.__setattr__(derived, "branches", new_branches)
+        object.__setattr__(derived, "generators", self.generators)
+        object.__setattr__(derived, "base_mva", self.base_mva)
+        object.__setattr__(derived, "name", self.name)
+        object.__setattr__(derived, "_arrays", self.arrays.with_reactances(x))
+        return derived
 
     def with_loads(self, loads_mw: Sequence[float] | np.ndarray | Mapping[int, float]) -> "PowerNetwork":
         """Return a copy of the network with bus loads replaced.

@@ -321,14 +321,15 @@ def _infeasible_placeholder(network: PowerNetwork, reactances: np.ndarray) -> OP
 # ----------------------------------------------------------------------
 def _dfacts_box(network: PowerNetwork) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Return (indices, lower, upper) of the D-FACTS reactance box."""
-    indices = np.array(network.dfacts_branches, dtype=int)
-    x_min, x_max = network.reactance_bounds()
+    arrays = network.arrays
+    indices = np.flatnonzero(arrays.branch_has_dfacts)
+    x_min, x_max = arrays.reactance_bounds()
     return indices, x_min[indices], x_max[indices]
 
 
 def _expand(network: PowerNetwork, base_x: np.ndarray, x_d: np.ndarray) -> np.ndarray:
     """Insert D-FACTS reactances into a copy of the base reactance vector."""
-    indices = np.array(network.dfacts_branches, dtype=int)
+    indices = np.flatnonzero(network.arrays.branch_has_dfacts)
     full = base_x.copy()
     full[indices] = x_d
     return full

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import MTDDesignError
+from repro.grid.arrays import NetworkArrays
 from repro.grid.matrices import reduced_measurement_matrix
 from repro.grid.network import PowerNetwork
 from repro.utils.rng import as_generator
@@ -167,17 +168,13 @@ class ReactancePerturbation:
         Branches without D-FACTS must be untouched; equipped branches must
         stay within ``[x_min, x_max]``.
         """
-        x_min, x_max = self.network.reactance_bounds()
-        dfacts = set(self.network.dfacts_branches)
-        for branch in self.network.branches:
-            i = branch.index
-            value = self.perturbed_reactances[i]
-            if i not in dfacts:
-                if abs(value - self.base_reactances[i]) > tol:
-                    return False
-            elif value < x_min[i] - tol or value > x_max[i] + tol:
-                return False
-        return True
+        arrays = self.network.arrays
+        x_min, x_max = arrays.reactance_bounds()
+        equipped = arrays.branch_has_dfacts
+        value = self.perturbed_reactances
+        untouched = np.abs(value - self.base_reactances) <= tol
+        within = (value >= x_min - tol) & (value <= x_max + tol)
+        return bool(np.all(np.where(equipped, within, untouched)))
 
     def require_valid(self) -> None:
         """Raise :class:`MTDDesignError` if the perturbation violates limits."""
@@ -188,8 +185,22 @@ class ReactancePerturbation:
             )
 
     def apply(self) -> PowerNetwork:
-        """Return the network with the perturbed reactances installed."""
+        """Return the network with the perturbed reactances installed.
+
+        Uses the reactance-only fast derivation of
+        :meth:`~repro.grid.network.PowerNetwork.with_reactances` (structural
+        re-validation skipped, topology cache shared).
+        """
         return self.network.with_reactances(self.perturbed_reactances)
+
+    def apply_arrays(self) -> "NetworkArrays":
+        """The perturbed network as a structure-of-arrays compute view.
+
+        The cheapest way to hand a perturbed variant to the matrix
+        builders and solver layers: no per-component objects are built at
+        all, and the topology cache is shared with the base network.
+        """
+        return self.network.arrays.with_reactances(self.perturbed_reactances)
 
     def pre_measurement_matrix(self) -> np.ndarray:
         """Reduced measurement matrix ``H`` of the pre-perturbation system."""

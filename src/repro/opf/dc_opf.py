@@ -23,17 +23,16 @@ from scipy.optimize import linprog
 
 from repro.exceptions import OPFInfeasibleError
 from repro.grid.matrices import (
+    NetworkLike,
     branch_flow_matrix,
-    generator_incidence_matrix,
     non_slack_indices,
     susceptance_matrix,
 )
-from repro.grid.network import PowerNetwork
 from repro.opf.result import OPFResult
 
 
 def solve_dc_opf(
-    network: PowerNetwork,
+    network: NetworkLike,
     reactances: np.ndarray | None = None,
     loads_mw: np.ndarray | None = None,
 ) -> OPFResult:
@@ -79,7 +78,7 @@ def solve_dc_opf(
     costs = network.generator_costs()  # $/MWh
     limits = network.flow_limits_mw() / base
 
-    C = generator_incidence_matrix(network)         # N x G
+    C = network.arrays.topology.generator_incidence()  # N x G (cached, read-only)
     B = susceptance_matrix(network, reactances)     # N x N (per unit)
     F = branch_flow_matrix(network, reactances)     # L x N (per unit)
 
@@ -141,7 +140,7 @@ def solve_dc_opf(
     )
 
 
-def opf_cost(network: PowerNetwork, reactances: np.ndarray | None = None,
+def opf_cost(network: NetworkLike, reactances: np.ndarray | None = None,
              loads_mw: np.ndarray | None = None) -> float:
     """Convenience wrapper returning only the optimal cost ``C_OPF``."""
     return solve_dc_opf(network, reactances=reactances, loads_mw=loads_mw).cost

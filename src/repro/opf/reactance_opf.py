@@ -20,11 +20,11 @@ import numpy as np
 
 from repro.exceptions import OPFConvergenceError, OPFInfeasibleError
 from repro.grid.matrices import (
+    NetworkLike,
     generator_incidence_matrix,
     incidence_matrix,
     non_slack_indices,
 )
-from repro.grid.network import PowerNetwork
 from repro.opf.dc_opf import solve_dc_opf
 from repro.opf.multistart import MultiStartOptimizer
 from repro.opf.result import OPFResult
@@ -44,7 +44,7 @@ class ReactanceOPFProblem:
     where ``x_D`` contains only the reactances of D-FACTS-equipped branches.
     """
 
-    network: PowerNetwork
+    network: NetworkLike
     loads_mw: np.ndarray
     extra_reactance_constraints: tuple[ReactanceConstraint, ...] = ()
 
@@ -228,7 +228,7 @@ class ReactanceOPFProblem:
 
 
 def solve_reactance_opf(
-    network: PowerNetwork,
+    network: NetworkLike,
     loads_mw: np.ndarray | None = None,
     extra_reactance_constraints: Sequence[ReactanceConstraint] = (),
     n_random_starts: int = 4,

@@ -15,13 +15,13 @@ import scipy.sparse.linalg
 
 from repro.exceptions import PowerFlowError
 from repro.grid.matrices import (
+    NetworkLike,
     branch_flow_matrix,
     non_slack_indices,
     reduced_susceptance_matrix,
     reduced_susceptance_matrix_sparse,
     use_sparse_backend,
 )
-from repro.grid.network import PowerNetwork
 
 
 @dataclass(frozen=True)
@@ -68,7 +68,7 @@ class DCPowerFlowResult:
 
 
 def solve_dc_power_flow(
-    network: PowerNetwork,
+    network: NetworkLike,
     injections_mw: np.ndarray | None = None,
     generation_mw: np.ndarray | None = None,
     reactances: np.ndarray | None = None,
@@ -157,7 +157,7 @@ def solve_dc_power_flow(
 
 
 def flows_from_angles(
-    network: PowerNetwork,
+    network: NetworkLike,
     angles_rad: np.ndarray,
     reactances: np.ndarray | None = None,
 ) -> np.ndarray:
@@ -171,7 +171,7 @@ def flows_from_angles(
 
 
 def _resolve_injections(
-    network: PowerNetwork,
+    network: NetworkLike,
     injections_mw: np.ndarray | None,
     generation_mw: np.ndarray | None,
 ) -> np.ndarray:
@@ -186,17 +186,20 @@ def _resolve_injections(
                 f"expected {network.n_buses} injections, got {injections.shape[0]}"
             )
         return injections.copy()
-    loads = network.loads_mw()
+    arrays = network.arrays
+    loads = arrays.loads_mw()
     if generation_mw is None:
         return -loads
     generation = np.asarray(generation_mw, dtype=float).ravel()
-    if generation.shape[0] != network.n_generators:
+    if generation.shape[0] != arrays.n_generators:
         raise PowerFlowError(
-            f"expected {network.n_generators} generator outputs, got {generation.shape[0]}"
+            f"expected {arrays.n_generators} generator outputs, got {generation.shape[0]}"
         )
     injections = -loads
-    for gen in network.generators:
-        injections[gen.bus] += generation[gen.index]
+    # Unbuffered scatter-add in generator order: identical accumulation
+    # order (hence bit-identical floats) to the historical per-object loop,
+    # including generators sharing a bus.
+    np.add.at(injections, arrays.gen_bus, generation)
     return injections
 
 

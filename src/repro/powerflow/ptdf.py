@@ -14,17 +14,17 @@ import scipy.sparse.linalg
 
 from repro.exceptions import PowerFlowError
 from repro.grid.matrices import (
+    NetworkLike,
     branch_flow_matrix,
     non_slack_indices,
     reduced_susceptance_matrix,
     reduced_susceptance_matrix_sparse,
     use_sparse_backend,
 )
-from repro.grid.network import PowerNetwork
 
 
 def ptdf_matrix(
-    network: PowerNetwork,
+    network: NetworkLike,
     reactances: np.ndarray | None = None,
     sparse: bool | None = None,
 ) -> np.ndarray:
@@ -72,7 +72,7 @@ def ptdf_matrix(
 
 
 def generation_shift_factors(
-    network: PowerNetwork,
+    network: NetworkLike,
     from_bus: int,
     to_bus: int,
     reactances: np.ndarray | None = None,
@@ -91,7 +91,7 @@ def generation_shift_factors(
 
 
 def flows_from_injections(
-    network: PowerNetwork,
+    network: NetworkLike,
     injections_mw: np.ndarray,
     reactances: np.ndarray | None = None,
 ) -> np.ndarray:

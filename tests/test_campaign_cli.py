@@ -53,6 +53,30 @@ class TestCliInProcess:
         for name in ("fig6a", "fig8", "tables", "scale"):
             assert name in out
 
+    def test_cases_list(self, capsys):
+        assert main(["cases", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ieee14", "synthetic118", "case30.m"):
+            assert name in out
+
+    def test_cases_info_registry_case(self, capsys):
+        assert main(["cases", "info", "ieee14"]) == 0
+        out = capsys.readouterr().out
+        assert "buses" in out and "14" in out
+        assert "D-FACTS branches" in out
+        assert "base MVA" in out
+
+    def test_cases_info_matpower_case(self, capsys):
+        assert main(["cases", "info", "case30.m"]) == 0
+        out = capsys.readouterr().out
+        assert "network name: 'case30'" in out
+        assert "30" in out
+        assert "line ratings: 41/41 limited" in out
+
+    def test_cases_info_unknown_case_errors(self, capsys):
+        assert main(["cases", "info", "no-such-case"]) == 2
+        assert "unknown case" in capsys.readouterr().err
+
     def test_campaign_run_status_resume_query_csv(self, tmp_path, capsys):
         definition = CampaignDefinition(
             name="cli-campaign",

@@ -52,6 +52,48 @@ class TestNetworkDictRoundTrip:
             network_from_dict(data)
 
 
+class TestDuplicateIndexRejection:
+    """Duplicated indices fail fast with the offending index named, not
+    with the contiguity error the structural validation would raise later."""
+
+    def test_duplicate_bus_index_named(self, net14):
+        data = network_to_dict(net14)
+        data["bus"][3]["index"] = data["bus"][2]["index"]
+        with pytest.raises(GridModelError, match="duplicate bus index 2"):
+            network_from_dict(data)
+
+    def test_duplicate_branch_index_named(self, net14):
+        data = network_to_dict(net14)
+        data["branch"][5]["index"] = 0
+        with pytest.raises(GridModelError, match="duplicate branch index 0"):
+            network_from_dict(data)
+
+    def test_duplicate_generator_index_named(self, net14):
+        data = network_to_dict(net14)
+        data["gen"][1]["index"] = data["gen"][0]["index"]
+        with pytest.raises(GridModelError, match="duplicate generator index 0"):
+            network_from_dict(data)
+
+    def test_unique_indices_still_accepted(self, net14):
+        # the regression's other direction: valid dictionaries parse as before
+        assert network_from_dict(network_to_dict(net14)) == net14
+
+    def test_shuffled_records_load_in_index_order(self, net14):
+        # record order in the dictionary is presentation, not semantics:
+        # components are rebuilt ordered by their explicit "index" fields
+        data = network_to_dict(net14)
+        data["bus"] = list(reversed(data["bus"]))
+        data["branch"] = data["branch"][5:] + data["branch"][:5]
+        data["gen"] = list(reversed(data["gen"]))
+        assert network_from_dict(data) == net14
+
+    def test_malformed_index_reported_by_parse_not_dup_check(self, net14):
+        data = network_to_dict(net14)
+        del data["bus"][0]["index"]
+        with pytest.raises(GridModelError, match="missing required field"):
+            network_from_dict(data)
+
+
 class TestFileRoundTrip:
     def test_save_and_load(self, tmp_path, net14):
         path = tmp_path / "ieee14.json"
