@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Check that every benchmark's BENCH_*.json artifact is present and sane.
+
+Each ``benchmarks/bench_*.py`` module that calls ``emit_bench_json(<name>)``
+is expected to have a committed ``benchmarks/BENCH_<name>.json`` timing
+record next to it, so the repo always carries a machine-readable perf
+baseline for every figure/table benchmark.  This script cross-references
+the two by scanning the benchmark sources for emission names (no imports
+needed), then validates each committed record:
+
+* the file exists and parses as JSON;
+* its ``name`` field matches the filename;
+* it has a positive ``created_unix`` stamp;
+* it is not *stale*: a record older than its emitting benchmark module
+  predates the code that produced it and must be regenerated.
+
+Run from the repository root (CI does)::
+
+    python scripts/check_bench_manifest.py
+
+Exit status is non-zero on any missing, malformed, mismatched, or stale
+record.  Pass ``--allow-stale`` to downgrade staleness to a warning (for
+local runs where git checkouts give sources fresh mtimes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+#: Matches the literal first argument of an emit_bench_json(...) call.
+_EMIT_RE = re.compile(r"emit_bench_json\(\s*[\"']([A-Za-z0-9_.-]+)[\"']")
+
+
+def expected_records() -> dict[str, Path]:
+    """Map BENCH record name -> the benchmark module that emits it."""
+    expected: dict[str, Path] = {}
+    for module in sorted(BENCH_DIR.glob("bench_*.py")):
+        for name in _EMIT_RE.findall(module.read_text()):
+            expected[name] = module
+    return expected
+
+
+def check(allow_stale: bool = False) -> int:
+    expected = expected_records()
+    if not expected:
+        print(f"error: no emit_bench_json calls found under {BENCH_DIR}",
+              file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    warnings: list[str] = []
+    for name, module in sorted(expected.items()):
+        path = BENCH_DIR / f"BENCH_{name}.json"
+        if not path.exists():
+            failures.append(
+                f"missing {path.name} (emitted by {module.name}; run "
+                f"PYTHONPATH=src python -m pytest benchmarks/{module.name} "
+                "-p no:cacheprovider -o python_files='bench_*.py' "
+                "-o python_functions='bench_*')"
+            )
+            continue
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            failures.append(f"unreadable {path.name}: {exc}")
+            continue
+        if record.get("name") != name:
+            failures.append(
+                f"{path.name}: record name {record.get('name')!r} does not "
+                f"match expected {name!r}"
+            )
+            continue
+        created = record.get("created_unix")
+        if not isinstance(created, (int, float)) or created <= 0:
+            failures.append(f"{path.name}: missing/invalid created_unix stamp")
+            continue
+        if created < module.stat().st_mtime:
+            message = (
+                f"{path.name}: stale — created before {module.name} was last "
+                "modified; regenerate it"
+            )
+            if allow_stale:
+                warnings.append(message)
+            else:
+                failures.append(message)
+            continue
+        print(f"ok      BENCH_{name}.json ({module.name})")
+
+    for message in warnings:
+        print(f"warn    {message}")
+    for message in failures:
+        print(f"FAIL    {message}", file=sys.stderr)
+    if failures:
+        print(f"\n{len(failures)} of {len(expected)} BENCH records failed",
+              file=sys.stderr)
+        return 1
+    print(f"\nall {len(expected)} BENCH records present and fresh")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--allow-stale",
+        action="store_true",
+        help="warn (instead of fail) when a record predates its benchmark "
+        "module's mtime",
+    )
+    args = parser.parse_args(argv)
+    return check(allow_stale=args.allow_stale)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -122,8 +122,9 @@ from repro.timeseries import (
     TuningSpec,
     daily_operation_spec,
 )
+from repro import telemetry
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     # exceptions
@@ -229,5 +230,7 @@ __all__ = [
     "OperationRecord",
     "OperationResult",
     "daily_operation_spec",
+    # observability
+    "telemetry",
     "__version__",
 ]

@@ -34,6 +34,15 @@ from repro.campaign.query import export_csv, query_results, summarize_groups
 from repro.campaign.store import CampaignStore
 from repro.campaign.suites import available_campaigns, campaign_from_suite
 from repro.exceptions import ReproError
+from repro.telemetry import (
+    configure_logging,
+    enable as enable_telemetry,
+    format_environment,
+    format_report,
+    log_event,
+    read_report,
+    telemetry_path,
+)
 
 
 def _parse_value(text: str) -> Any:
@@ -85,6 +94,18 @@ def _print_report(report: CampaignReport, store: str) -> None:
     )
     state = "complete" if report.complete else "incomplete — run resume to continue"
     print(f"  store {store}: {state}")
+    if report.telemetry is not None:
+        print(f"  telemetry report: {telemetry_path(store)}")
+    log_event(
+        "campaign.run.finished",
+        store=str(store),
+        plan_hash=report.plan_hash,
+        executed=len(report.executed),
+        from_cache=len(report.from_cache),
+        skipped=len(report.skipped),
+        elapsed_seconds=report.elapsed_seconds,
+        complete=report.complete,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -121,6 +142,14 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
         for shard in status.shards
     ]
     print(format_table(["shard", "points", "completed", "state"], rows))
+    if getattr(args, "telemetry", False):
+        report = read_report(args.store)
+        if report is None:
+            print(f"no telemetry report at {telemetry_path(args.store)} "
+                  "(run the campaign with --telemetry)")
+        else:
+            print()
+            print(format_report(report))
     return 0 if status.complete else 1
 
 
@@ -225,6 +254,24 @@ def _cmd_suites_run(args: argparse.Namespace) -> int:
     return 0 if report.complete or args.shard_limit is not None else 1
 
 
+def _cmd_telemetry_show(args: argparse.Namespace) -> int:
+    report = read_report(args.store)
+    if report is None:
+        print(
+            f"error: no telemetry report at {telemetry_path(args.store)} "
+            "(run the campaign with --telemetry)",
+            file=sys.stderr,
+        )
+        return 1
+    print(format_report(report))
+    return 0
+
+
+def _cmd_telemetry_env(args: argparse.Namespace) -> int:
+    print(format_environment())
+    return 0
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -238,6 +285,9 @@ def _add_execution_options(parser: argparse.ArgumentParser) -> None:
                         help="ResultCache directory to interop with")
     parser.add_argument("--shard-limit", type=int, default=None,
                         help="run at most this many incomplete shards (checkpointing)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="collect metrics/spans and write telemetry.json "
+                             "next to the store manifest (results unchanged)")
 
 
 def _add_budget_options(parser: argparse.ArgumentParser) -> None:
@@ -252,6 +302,24 @@ def _add_budget_options(parser: argparse.ArgumentParser) -> None:
                         help="scenario points per shard")
 
 
+def _logging_parent() -> argparse.ArgumentParser:
+    """Logging flags, usable before *or* after the subcommand.
+
+    The root parser owns the real defaults; this parent (attached to every
+    leaf subparser) uses ``SUPPRESS`` defaults so a subparser that never saw
+    the flag doesn't clobber a value the root parse already set.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--log-level", default=argparse.SUPPRESS,
+                        choices=("debug", "info", "warning", "error"),
+                        help="emit structured run logs at this level")
+    parent.add_argument("--log-json", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="structured logs as JSON lines (implies "
+                             "--log-level info unless set)")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -260,26 +328,39 @@ def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument("--log-level", default=None,
+                        choices=("debug", "info", "warning", "error"),
+                        help="emit structured run logs at this level")
+    parser.add_argument("--log-json", action="store_true",
+                        help="structured logs as JSON lines (implies --log-level info "
+                             "unless set)")
+    logging_parent = _logging_parent()
     commands = parser.add_subparsers(dest="command", required=True)
 
     campaign = commands.add_parser("campaign", help="run/inspect persistent campaigns")
     actions = campaign.add_subparsers(dest="action", required=True)
 
-    run = actions.add_parser("run", help="run a campaign definition (JSON file)")
+    run = actions.add_parser("run", parents=[logging_parent],
+                             help="run a campaign definition (JSON file)")
     run.add_argument("definition", help="path to a CampaignDefinition JSON file")
     _add_execution_options(run)
     _add_budget_options(run)
     run.set_defaults(handler=_cmd_campaign_run)
 
-    resume = actions.add_parser("resume", help="continue the store's campaign")
+    resume = actions.add_parser("resume", parents=[logging_parent],
+                                help="continue the store's campaign")
     _add_execution_options(resume)
     resume.set_defaults(handler=_cmd_campaign_resume)
 
-    status = actions.add_parser("status", help="completion state of a store")
+    status = actions.add_parser("status", parents=[logging_parent],
+                                help="completion state of a store")
     status.add_argument("--store", required=True, help="campaign store directory")
+    status.add_argument("--telemetry", action="store_true",
+                        help="also render the store's telemetry.json run report")
     status.set_defaults(handler=_cmd_campaign_status)
 
-    query = actions.add_parser("query", help="filter/aggregate stored results")
+    query = actions.add_parser("query", parents=[logging_parent],
+                               help="filter/aggregate stored results")
     query.add_argument("--store", required=True, help="campaign store directory")
     query.add_argument("--where", action="append", metavar="PATH=VALUE",
                        help="dotted spec-field equality filter (repeatable)")
@@ -297,12 +378,14 @@ def build_parser() -> argparse.ArgumentParser:
     case_actions = cases.add_subparsers(dest="action", required=True)
 
     cases_list = case_actions.add_parser(
-        "list", help="list registered cases and bundled MATPOWER files"
+        "list", parents=[logging_parent],
+        help="list registered cases and bundled MATPOWER files",
     )
     cases_list.set_defaults(handler=_cmd_cases_list)
 
     cases_info = case_actions.add_parser(
-        "info", help="bus/branch/generator counts, slack, ratings of one case"
+        "info", parents=[logging_parent],
+        help="bus/branch/generator counts, slack, ratings of one case",
     )
     cases_info.add_argument(
         "name", help="registry name (e.g. ieee14) or MATPOWER file (e.g. case30.m)"
@@ -312,14 +395,36 @@ def build_parser() -> argparse.ArgumentParser:
     suites = commands.add_parser("suites", help="canonical suites as campaigns")
     suite_actions = suites.add_subparsers(dest="action", required=True)
 
-    suites_list = suite_actions.add_parser("list", help="list registered campaigns")
+    suites_list = suite_actions.add_parser(
+        "list", parents=[logging_parent], help="list registered campaigns"
+    )
     suites_list.set_defaults(handler=_cmd_suites_list)
 
-    suites_run = suite_actions.add_parser("run", help="run a suite as a campaign")
+    suites_run = suite_actions.add_parser(
+        "run", parents=[logging_parent], help="run a suite as a campaign"
+    )
     suites_run.add_argument("name", help="suite name (see: repro suites list)")
     _add_execution_options(suites_run)
     _add_budget_options(suites_run)
     suites_run.set_defaults(handler=_cmd_suites_run)
+
+    telemetry = commands.add_parser(
+        "telemetry", help="inspect run reports and the execution environment"
+    )
+    telemetry_actions = telemetry.add_subparsers(dest="action", required=True)
+
+    telemetry_show = telemetry_actions.add_parser(
+        "show", parents=[logging_parent],
+        help="render a store's telemetry.json run report",
+    )
+    telemetry_show.add_argument("store", help="campaign store directory")
+    telemetry_show.set_defaults(handler=_cmd_telemetry_show)
+
+    telemetry_env = telemetry_actions.add_parser(
+        "env", parents=[logging_parent],
+        help="interpreter/library versions, machine shape, config",
+    )
+    telemetry_env.set_defaults(handler=_cmd_telemetry_env)
 
     return parser
 
@@ -327,6 +432,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.log_level is not None or args.log_json:
+        configure_logging(args.log_level or "info", json_output=args.log_json)
+    if getattr(args, "telemetry", False) and args.handler is not _cmd_campaign_status:
+        enable_telemetry()
     try:
         return args.handler(args)
     except ReproError as error:

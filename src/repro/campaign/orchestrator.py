@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
@@ -31,6 +31,11 @@ from repro.engine.results import ScenarioResult
 from repro.engine.runner import ScenarioEngine
 from repro.engine.spec import ScenarioSpec
 from repro.exceptions import ConfigurationError
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.config import _STATE as _TELEMETRY, set_enabled
+from repro.telemetry.env import environment_info
+from repro.telemetry.report import build_report, write_report
+from repro.telemetry.spans import drain_spans, span as _span
 
 
 @dataclass(frozen=True)
@@ -85,6 +90,10 @@ class CampaignReport:
     skipped: tuple[str, ...] = ()
     shards_run: tuple[int, ...] = ()
     elapsed_seconds: float = 0.0
+    #: The run's telemetry report (the ``telemetry.json`` payload), or
+    #: ``None`` when telemetry was off.  Excluded from equality: two runs
+    #: that did identical work compare equal regardless of timing.
+    telemetry: dict | None = field(default=None, compare=False)
 
     @property
     def complete(self) -> bool:
@@ -96,16 +105,36 @@ def _run_shard(
     specs: Sequence[ScenarioSpec],
     batch_size: int | None,
     cache_dir: str | None,
-) -> tuple[int, list[ScenarioResult]]:
+    telemetry: bool = False,
+) -> tuple[int, list[ScenarioResult], dict]:
     """Worker entry point: run one shard's scenarios serially in-process.
 
     Module-level and picklable so a ``ProcessPoolExecutor`` can ship it.
     The worker attaches the shared :class:`ResultCache` directory (if any)
     so freshly executed scenarios also land in the cache, and runs with
     ``n_workers=1`` — parallelism lives at the shard level.
+
+    The ``telemetry`` flag travels explicitly (pool workers do not inherit
+    the parent's runtime switch under every start method).  When set, the
+    third element carries the worker's metrics delta for this shard
+    (``"snapshot"``, a plain :meth:`~repro.telemetry.metrics.
+    MetricsSnapshot.to_dict` payload) plus the shard's ``"wall_seconds"``;
+    otherwise it is empty.
     """
+    if not telemetry:
+        engine = ScenarioEngine(cache=cache_dir, n_workers=1, batch_size=batch_size)
+        return shard_index, [engine.run(spec) for spec in specs], {}
+    set_enabled(True)
+    before = _metrics.snapshot()
+    start = time.perf_counter()
     engine = ScenarioEngine(cache=cache_dir, n_workers=1, batch_size=batch_size)
-    return shard_index, [engine.run(spec) for spec in specs]
+    with _span("campaign.shard", shard=shard_index, n_scenarios=len(specs)):
+        results = [engine.run(spec) for spec in specs]
+    info = {
+        "snapshot": _metrics.snapshot().subtract(before).to_dict(),
+        "wall_seconds": time.perf_counter() - start,
+    }
+    return shard_index, results, info
 
 
 class CampaignOrchestrator:
@@ -175,6 +204,10 @@ class CampaignOrchestrator:
                     "plan_hash": plan.plan_hash,
                     "definition": plan.definition.to_dict(),
                     "created_unix": time.time(),
+                    # Environment stamp: which interpreter/libraries/machine
+                    # first bound this store.  Diagnostic only — never read
+                    # back by the orchestrator or the resume logic.
+                    "environment": environment_info(),
                 }
             )
 
@@ -191,7 +224,12 @@ class CampaignOrchestrator:
         cache can replay is ingested without execution; the rest runs
         sharded, streaming into the store as it completes.
         """
+        instrumented = _TELEMETRY.enabled
         start = time.perf_counter()
+        before = _metrics.snapshot() if instrumented else None
+        run_span = _span("campaign.run") if instrumented else None
+        if run_span is not None:
+            run_span.__enter__()
         plan = plan_campaign(definition)
         self._check_manifest(plan)
 
@@ -199,6 +237,7 @@ class CampaignOrchestrator:
         skipped = tuple(h for h in plan.items if h in completed)
 
         from_cache: list[str] = []
+        shard_wall: dict[int, float] = {}
         try:
             # ResultCache interop: replay cached scenarios into the store.
             if self._cache is not None:
@@ -219,13 +258,39 @@ class CampaignOrchestrator:
             if shard_limit is not None:
                 pending = pending[: max(0, int(shard_limit))]
 
-            executed = self._execute_shards(plan, pending, completed)
+            executed = self._execute_shards(plan, pending, completed, shard_wall)
         finally:
             # Hand the writer lock back the moment the run ends (even on
             # failure), so another orchestrator — this process or another —
             # can continue the campaign without waiting for this store to
             # be garbage-collected.
             self._store.release_writer()
+            if run_span is not None:
+                run_span.__exit__(None, None, None)
+
+        elapsed = time.perf_counter() - start
+        telemetry = None
+        if instrumented:
+            _metrics.counter("campaign.runs")
+            _metrics.counter("campaign.scenarios_executed", len(executed))
+            _metrics.counter("campaign.scenarios_from_cache", len(from_cache))
+            _metrics.counter("campaign.scenarios_skipped", len(skipped))
+            delta = _metrics.snapshot().subtract(before)
+            trials_executed = sum(
+                plan.spec_for(spec_hash).n_trials for spec_hash in executed
+            )
+            telemetry = build_report(
+                delta,
+                elapsed_seconds=elapsed,
+                executed=len(executed),
+                from_cache=len(from_cache),
+                skipped=len(skipped),
+                trials_executed=trials_executed,
+                shard_wall_seconds=shard_wall,
+                spans=drain_spans(),
+                extra={"plan_hash": plan.plan_hash, "campaign": plan.definition.name},
+            )
+            write_report(self._store.directory, telemetry)
 
         return CampaignReport(
             plan_hash=plan.plan_hash,
@@ -235,7 +300,8 @@ class CampaignOrchestrator:
             from_cache=tuple(from_cache),
             skipped=skipped,
             shards_run=tuple(shard.index for shard in pending),
-            elapsed_seconds=time.perf_counter() - start,
+            elapsed_seconds=elapsed,
+            telemetry=telemetry,
         )
 
     def _execute_shards(
@@ -243,8 +309,15 @@ class CampaignOrchestrator:
         plan: CampaignPlan,
         pending: Sequence[Shard],
         completed: set[str],
+        shard_wall: dict[int, float],
     ) -> list[str]:
-        """Run the pending shards, streaming results into the store."""
+        """Run the pending shards, streaming results into the store.
+
+        ``shard_wall`` is filled in-place with per-shard wall-clock seconds
+        when telemetry is enabled (worker-measured on the pool path, so the
+        number excludes pickling/queueing overhead).
+        """
+        instrumented = _TELEMETRY.enabled
         cache_dir = None if self._cache is None else str(self._cache.directory)
         executed: list[str] = []
         if self._n_workers <= 1:
@@ -254,12 +327,26 @@ class CampaignOrchestrator:
                 cache=cache_dir, n_workers=1, batch_size=self._batch_size
             )
             for shard in pending:
-                for spec_hash in shard.spec_hashes:
-                    if spec_hash in completed:
-                        continue  # spec-hash accounting within partial shards
-                    result = engine.run(plan.spec_for(spec_hash))
-                    self._store.append(result, shard=shard.index)
-                    executed.append(spec_hash)
+                shard_span = (
+                    _span("campaign.shard", shard=shard.index)
+                    if instrumented
+                    else None
+                )
+                shard_start = time.perf_counter()
+                if shard_span is not None:
+                    shard_span.__enter__()
+                try:
+                    for spec_hash in shard.spec_hashes:
+                        if spec_hash in completed:
+                            continue  # spec-hash accounting within partial shards
+                        result = engine.run(plan.spec_for(spec_hash))
+                        self._store.append(result, shard=shard.index)
+                        executed.append(spec_hash)
+                finally:
+                    if shard_span is not None:
+                        shard_span.__exit__(None, None, None)
+                if instrumented:
+                    shard_wall[shard.index] = time.perf_counter() - shard_start
             return executed
 
         tasks = {
@@ -270,12 +357,20 @@ class CampaignOrchestrator:
         }
         with ProcessPoolExecutor(max_workers=self._n_workers) as pool:
             futures = [
-                pool.submit(_run_shard, index, specs, self._batch_size, cache_dir)
+                pool.submit(
+                    _run_shard, index, specs, self._batch_size, cache_dir, instrumented
+                )
                 for index, specs in tasks.items()
                 if specs
             ]
             for future in as_completed(futures):
-                shard_index, results = future.result()
+                shard_index, results, info = future.result()
+                # Merging the shard deltas is associative/commutative, so
+                # the totals are independent of completion order even
+                # though ``as_completed`` yields in a racy order.
+                if info:
+                    _metrics.merge_snapshot(info["snapshot"])
+                    shard_wall[shard_index] = float(info["wall_seconds"])
                 for result in results:
                     spec_hash = self._store.append(result, shard=shard_index)
                     executed.append(spec_hash)

@@ -21,6 +21,7 @@ from repro.analysis.montecarlo import MonteCarloSummary, summarize_values
 from repro.engine.results import ScenarioResult, merge_metric
 from repro.campaign.store import CampaignStore, spec_field
 from repro.exceptions import ConfigurationError
+from repro.telemetry import metrics as _metrics
 
 
 def _matches(spec: Mapping[str, Any], where: Mapping[str, Any]) -> bool:
@@ -69,7 +70,9 @@ def _plan_order(store: CampaignStore) -> dict[str, int] | None:
     plan_hash = str(manifest.get("plan_hash", ""))
     cached = _PLAN_ORDER_CACHE.get(store)
     if cached is not None and cached[0] == plan_hash:
+        _metrics.counter("cache.plan_order.hits")
         return cached[1]
+    _metrics.counter("cache.plan_order.misses")
     from repro.campaign.definition import CampaignDefinition
     from repro.campaign.plan import plan_campaign
 

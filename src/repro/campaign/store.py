@@ -48,6 +48,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 from repro.engine.results import ScenarioResult
 from repro.exceptions import ConfigurationError
+from repro.telemetry import metrics as _metrics
 
 #: Store layout names.
 MANIFEST_NAME = "campaign.json"
@@ -335,6 +336,8 @@ class CampaignStore:
             (self._segment_name, offset + len(line)),
         )
         self._connection.commit()
+        _metrics.counter("store.appends")
+        _metrics.counter("store.bytes_written", len(line))
         return record["spec_hash"]
 
     # ------------------------------------------------------------------

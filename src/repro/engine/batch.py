@@ -34,6 +34,9 @@ from repro.engine.spec import ScenarioSpec
 from repro.engine.trial import run_trial
 from repro.estimation.linear_model import LinearModelCache
 from repro.exceptions import ConfigurationError
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.config import _STATE as _TELEMETRY, set_enabled
+from repro.telemetry.spans import span as _span
 
 #: Default capacity of the per-batch factorization cache.  Random-policy
 #: batches touch one perturbation per trial, so the capacity bounds memory
@@ -45,7 +48,8 @@ def run_trial_batch(
     spec: ScenarioSpec,
     trial_indices: Sequence[int] | None = None,
     model_cache: LinearModelCache | None = None,
-) -> list[TrialResult]:
+    return_snapshot: bool = False,
+) -> list[TrialResult] | tuple[list[TrialResult], dict]:
     """Run a block of trials sharing one factorization cache.
 
     Parameters
@@ -61,12 +65,20 @@ def run_trial_batch(
         :data:`DEFAULT_MODEL_CACHE_SIZE` entries is created when omitted.
         Passing an explicit cache lets callers observe hit/miss accounting
         or share factorisations across batches of the same grid.
+    return_snapshot:
+        When true, return ``(trials, snapshot_dict)`` where the second
+        element is this process's telemetry delta for the batch as a
+        plain-data :meth:`~repro.telemetry.metrics.MetricsSnapshot.to_dict`
+        payload (empty when telemetry is disabled).  This is the pool
+        boundary: worker-side wrappers ship the snapshot back with the
+        results so the parent can merge metrics deterministically.
 
     Returns
     -------
     list of TrialResult
         One result per requested index, bit-identical to calling
-        :func:`repro.engine.trial.run_trial` per index.
+        :func:`repro.engine.trial.run_trial` per index.  With
+        ``return_snapshot=True``, a ``(trials, snapshot)`` tuple instead.
     """
     if trial_indices is None:
         trial_indices = range(spec.n_trials)
@@ -77,8 +89,38 @@ def run_trial_batch(
                 f"trial_index must be in [0, {spec.n_trials}), got {index}"
             )
     if model_cache is None:
-        model_cache = LinearModelCache(maxsize=DEFAULT_MODEL_CACHE_SIZE)
-    return [run_trial(spec, index, model_cache=model_cache) for index in indices]
+        model_cache = LinearModelCache(
+            maxsize=DEFAULT_MODEL_CACHE_SIZE, telemetry_name="linear_model"
+        )
+    if not _TELEMETRY.enabled:
+        trials = [run_trial(spec, index, model_cache=model_cache) for index in indices]
+        return (trials, {}) if return_snapshot else trials
+    before = _metrics.snapshot()
+    with _span("engine.batch", n_trials=len(indices)):
+        _metrics.counter("engine.batches")
+        trials = [run_trial(spec, index, model_cache=model_cache) for index in indices]
+    if not return_snapshot:
+        return trials
+    return trials, _metrics.snapshot().subtract(before).to_dict()
 
 
-__all__ = ["run_trial_batch", "DEFAULT_MODEL_CACHE_SIZE"]
+def run_trial_batch_instrumented(
+    spec: ScenarioSpec,
+    trial_indices: Sequence[int] | None = None,
+) -> tuple[list[TrialResult], dict]:
+    """Pool-worker entry point that forces telemetry on for the batch.
+
+    ``ProcessPoolExecutor`` workers do not inherit a parent's runtime
+    telemetry switch under every start method, so the engine ships this
+    wrapper (instead of :func:`run_trial_batch`) when telemetry is enabled;
+    the flag travels in the function identity rather than in process state.
+    """
+    set_enabled(True)
+    return run_trial_batch(spec, trial_indices, return_snapshot=True)
+
+
+__all__ = [
+    "run_trial_batch",
+    "run_trial_batch_instrumented",
+    "DEFAULT_MODEL_CACHE_SIZE",
+]

@@ -21,6 +21,8 @@ from pathlib import Path
 from repro.engine.results import ScenarioResult
 from repro.engine.spec import ScenarioSpec
 from repro.exceptions import ReproError
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.config import _STATE as _TELEMETRY
 
 
 class ResultCache:
@@ -58,18 +60,28 @@ class ResultCache:
         try:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
-            self.misses += 1
+            self._record(hit=False)
             return None
         if payload.get("spec_hash") != spec.content_hash():
-            self.misses += 1
+            self._record(hit=False)
             return None
         try:
             result = ScenarioResult.from_dict(payload, from_cache=True)
         except (KeyError, TypeError, ValueError, ReproError):
-            self.misses += 1
+            self._record(hit=False)
             return None
-        self.hits += 1
+        self._record(hit=True)
         return result
+
+    def _record(self, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+            if _TELEMETRY.enabled:
+                _metrics.counter("cache.result_cache.hits")
+        else:
+            self.misses += 1
+            if _TELEMETRY.enabled:
+                _metrics.counter("cache.result_cache.misses")
 
     def put(self, spec: ScenarioSpec, result: ScenarioResult) -> Path:
         """Store ``result`` under the hash of ``spec`` (atomically).

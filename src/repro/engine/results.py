@@ -64,6 +64,13 @@ class ScenarioResult:
     elapsed_seconds: float = 0.0
     n_workers: int = 1
     from_cache: bool = False
+    #: Per-scenario telemetry delta (a plain
+    #: :meth:`~repro.telemetry.metrics.MetricsSnapshot.to_dict` payload), or
+    #: ``None`` when telemetry was off.  In-memory only: excluded from
+    #: equality and from :meth:`to_dict`, so stored records — and therefore
+    #: every cache entry and campaign segment — are byte-identical whether
+    #: telemetry was on or off.
+    telemetry: dict[str, Any] | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "trials", tuple(self.trials))

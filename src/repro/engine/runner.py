@@ -32,12 +32,15 @@ from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.campaign.plan import plan_sweep
-from repro.engine.batch import run_trial_batch
+from repro.engine.batch import run_trial_batch, run_trial_batch_instrumented
 from repro.engine.cache import ResultCache
 from repro.engine.results import ScenarioResult
 from repro.engine.spec import ScenarioSpec
-from repro.engine.trial import run_trial
+from repro.engine.trial import run_trial, run_trial_instrumented
 from repro.exceptions import ConfigurationError
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.config import _STATE as _TELEMETRY
+from repro.telemetry.spans import span as _span
 
 
 class ScenarioEngine:
@@ -133,29 +136,73 @@ class ScenarioEngine:
                 f"batch_size must be at least 1 (or None), got {batch_size}"
             )
 
+        instrumented = _TELEMETRY.enabled
+        before = _metrics.snapshot() if instrumented else None
+        scenario_span = (
+            _span("engine.scenario", scenario=spec.name, n_trials=spec.n_trials)
+            if instrumented
+            else None
+        )
         start = time.perf_counter()
-        if batch_size is None or batch_size <= 1:
-            if workers <= 1:
-                trials = [run_trial(spec, index) for index in range(spec.n_trials)]
+        if scenario_span is not None:
+            scenario_span.__enter__()
+        try:
+            if batch_size is None or batch_size <= 1:
+                if workers <= 1:
+                    trials = [run_trial(spec, index) for index in range(spec.n_trials)]
+                elif instrumented:
+                    # Workers run the instrumented wrapper, which forces the
+                    # telemetry switch on worker-side and ships back a
+                    # (trial, snapshot) pair; merging the per-trial deltas
+                    # is exact and order-independent.
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        pairs = list(
+                            pool.map(
+                                run_trial_instrumented, repeat(spec), range(spec.n_trials)
+                            )
+                        )
+                    trials = [trial for trial, _ in pairs]
+                    for _, worker_snapshot in pairs:
+                        _metrics.merge_snapshot(worker_snapshot)
+                else:
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        trials = list(
+                            pool.map(run_trial, repeat(spec), range(spec.n_trials))
+                        )
             else:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    trials = list(pool.map(run_trial, repeat(spec), range(spec.n_trials)))
-        else:
-            chunks = _chunk_indices(spec.n_trials, int(batch_size))
-            if workers <= 1:
-                batches = [run_trial_batch(spec, chunk) for chunk in chunks]
-            else:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    batches = list(pool.map(run_trial_batch, repeat(spec), chunks))
-            trials = [trial for batch in batches for trial in batch]
+                chunks = _chunk_indices(spec.n_trials, int(batch_size))
+                if workers <= 1:
+                    batches = [run_trial_batch(spec, chunk) for chunk in chunks]
+                elif instrumented:
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        pairs = list(
+                            pool.map(run_trial_batch_instrumented, repeat(spec), chunks)
+                        )
+                    batches = [batch for batch, _ in pairs]
+                    for _, worker_snapshot in pairs:
+                        _metrics.merge_snapshot(worker_snapshot)
+                else:
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        batches = list(pool.map(run_trial_batch, repeat(spec), chunks))
+                trials = [trial for batch in batches for trial in batch]
+        finally:
+            if scenario_span is not None:
+                scenario_span.__exit__(None, None, None)
         elapsed = time.perf_counter() - start
         self.executed_trials += spec.n_trials
+        if instrumented:
+            _metrics.counter("engine.scenarios")
+            _metrics.counter("engine.trials_executed", spec.n_trials)
+            telemetry = _metrics.snapshot().subtract(before).to_dict()
+        else:
+            telemetry = None
 
         result = ScenarioResult(
             spec=spec,
             trials=tuple(trials),
             elapsed_seconds=elapsed,
             n_workers=workers,
+            telemetry=telemetry,
         )
         if self._cache is not None:
             self._cache.put(spec, result)

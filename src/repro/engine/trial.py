@@ -35,6 +35,9 @@ from repro.mtd.subspace import subspace_angle
 from repro.opf.dc_opf import solve_dc_opf
 from repro.opf.reactance_opf import solve_reactance_opf
 from repro.opf.result import OPFResult
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.config import _STATE as _TELEMETRY
+from repro.telemetry.spans import span as _span
 
 
 def network_for_grid(grid: GridSpec) -> PowerNetwork:
@@ -132,6 +135,20 @@ def run_trial(
     TrialResult
         The trial's flat metric mapping.
     """
+    if _TELEMETRY.enabled:
+        # Observation only: the span/counter never touch the computation,
+        # so instrumented trials are bit-identical to uninstrumented ones.
+        with _span("engine.trial", trial=trial_index):
+            _metrics.counter("engine.trials")
+            return _run_trial_body(spec, trial_index, model_cache)
+    return _run_trial_body(spec, trial_index, model_cache)
+
+
+def _run_trial_body(
+    spec: ScenarioSpec,
+    trial_index: int,
+    model_cache: LinearModelCache | None,
+) -> TrialResult:
     if not (0 <= trial_index < spec.n_trials):
         raise ConfigurationError(
             f"trial_index must be in [0, {spec.n_trials}), got {trial_index}"
@@ -191,6 +208,25 @@ def run_trial(
     return TrialResult(trial_index=trial_index, metrics=metrics)
 
 
+def run_trial_instrumented(
+    spec: ScenarioSpec, trial_index: int
+) -> tuple[TrialResult, dict]:
+    """Pool-worker entry point that forces telemetry on for one trial.
+
+    Returns ``(trial, snapshot_dict)`` where the snapshot is the worker's
+    metrics delta for exactly this trial, ready for the parent to merge.
+    Shipped to workers instead of :func:`run_trial` when telemetry is
+    enabled, because pool workers do not inherit the parent's runtime
+    telemetry switch under every start method.
+    """
+    from repro.telemetry.config import set_enabled
+
+    set_enabled(True)
+    before = _metrics.snapshot()
+    trial = run_trial(spec, trial_index)
+    return trial, _metrics.snapshot().subtract(before).to_dict()
+
+
 def _apply_policy(
     spec: ScenarioSpec,
     network: PowerNetwork,
@@ -245,4 +281,10 @@ def _apply_policy(
     raise ConfigurationError(f"unknown MTD policy {mtd.policy!r}")
 
 
-__all__ = ["run_trial", "trial_seed_sequence", "network_for_grid", "clear_context_caches"]
+__all__ = [
+    "run_trial",
+    "run_trial_instrumented",
+    "trial_seed_sequence",
+    "network_for_grid",
+    "clear_context_caches",
+]

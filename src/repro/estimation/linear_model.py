@@ -33,6 +33,8 @@ import numpy as np
 import scipy.linalg
 
 from repro.exceptions import ConfigurationError, EstimationError
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.config import _STATE as _TELEMETRY
 from repro.utils.linalg import is_full_column_rank
 
 #: Internal sentinel distinguishing "absent" from a legitimately cached
@@ -109,7 +111,17 @@ class LinearModel:
             raise EstimationError(
                 "measurement matrix is rank deficient; the network is unobservable"
             )
-        q, r = np.linalg.qr(weighted_H)
+        if _TELEMETRY.enabled:
+            import time
+
+            start = time.perf_counter()
+            q, r = np.linalg.qr(weighted_H)
+            _metrics.counter("estimation.factorizations")
+            _metrics.histogram(
+                "estimation.factorize_seconds", time.perf_counter() - start
+            )
+        else:
+            q, r = np.linalg.qr(weighted_H)
         self._q = q
         self._r = r
         self._gain_chol: np.ndarray | None = None
@@ -323,6 +335,11 @@ class LinearModelCache:
     maxsize:
         Maximum number of retained entries; the least recently used entry
         is evicted beyond that.  Must be at least 1.
+    telemetry_name:
+        When set, cache traffic is also mirrored into the telemetry
+        counters ``cache.<telemetry_name>.{hits,misses,evictions}`` so it
+        survives the process-pool snapshot merge; ``None`` (the default)
+        keeps the cache invisible to telemetry.
 
     Attributes
     ----------
@@ -331,7 +348,7 @@ class LinearModelCache:
         in the tier-1 tests.
     """
 
-    def __init__(self, maxsize: int = 32) -> None:
+    def __init__(self, maxsize: int = 32, telemetry_name: str | None = None) -> None:
         if maxsize < 1:
             raise ConfigurationError(f"maxsize must be at least 1, got {maxsize}")
         self._maxsize = int(maxsize)
@@ -339,6 +356,13 @@ class LinearModelCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.telemetry_name = telemetry_name
+        if telemetry_name is None:
+            self._hit_key = self._miss_key = self._evict_key = None
+        else:
+            self._hit_key = f"cache.{telemetry_name}.hits"
+            self._miss_key = f"cache.{telemetry_name}.misses"
+            self._evict_key = f"cache.{telemetry_name}.evictions"
 
     @property
     def maxsize(self) -> int:
@@ -372,17 +396,24 @@ class LinearModelCache:
             The cached or freshly built value (a :class:`LinearModel` for
             the engine's factorization cache).
         """
+        mirror = self._hit_key is not None and _TELEMETRY.enabled
         value = self._entries.get(key, _MISSING)
         if value is not _MISSING:
             self.hits += 1
             self._entries.move_to_end(key)
+            if mirror:
+                _metrics.counter(self._hit_key)
             return value
         self.misses += 1
+        if mirror:
+            _metrics.counter(self._miss_key)
         value = builder()
         self._entries[key] = value
         if len(self._entries) > self._maxsize:
             self._entries.popitem(last=False)
             self.evictions += 1
+            if mirror:
+                _metrics.counter(self._evict_key)
         return value
 
     def clear(self) -> None:

@@ -39,9 +39,17 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import GridModelError
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.config import _STATE as _TELEMETRY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.grid.network import PowerNetwork
+
+
+def _topology_lookup(built: bool) -> None:
+    """Mirror one TopologyCache artifact lookup into the telemetry counters."""
+    if _TELEMETRY.enabled:
+        _metrics.counter("cache.topology.misses" if built else "cache.topology.hits")
 
 
 def _frozen(values: np.ndarray, dtype) -> np.ndarray:
@@ -103,6 +111,7 @@ class TopologyCache:
 
     def incidence(self) -> np.ndarray:
         """The ``N x L`` branch-bus incidence matrix ``A`` (read-only)."""
+        _topology_lookup(built=self._incidence is None)
         if self._incidence is None:
             A = np.zeros((self.n_buses, self.n_branches))
             cols = np.arange(self.n_branches)
@@ -114,6 +123,7 @@ class TopologyCache:
 
     def incidence_sparse(self) -> sp.csr_matrix:
         """``A`` as a CSR matrix, shape ``(N, L)`` (do not mutate)."""
+        _topology_lookup(built=self._incidence_sparse is None)
         if self._incidence_sparse is None:
             L = self.n_branches
             cols = np.arange(L)
@@ -127,6 +137,7 @@ class TopologyCache:
 
     def non_slack(self) -> np.ndarray:
         """Indices of all buses except the slack, ascending (read-only)."""
+        _topology_lookup(built=self._non_slack is None)
         if self._non_slack is None:
             keep = np.array(
                 [i for i in range(self.n_buses) if i != self.slack], dtype=int
@@ -137,6 +148,7 @@ class TopologyCache:
 
     def generator_incidence(self) -> np.ndarray:
         """The ``N x G`` generator-to-bus mapping matrix (read-only)."""
+        _topology_lookup(built=self._generator_incidence is None)
         if self._generator_incidence is None:
             C = np.zeros((self.n_buses, self.gen_bus.shape[0]))
             C[self.gen_bus, np.arange(self.gen_bus.shape[0])] = 1.0

@@ -17,7 +17,7 @@ two agree to Monte-Carlo accuracy and are cross-validated in the tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal
+from typing import Any, Literal
 
 import numpy as np
 
@@ -154,7 +154,9 @@ class EffectivenessEvaluator:
         # are memoised per perturbation.  The memo lives on the evaluator —
         # exactly the lifetime of the ensemble it is valid for — and reuses
         # the library's bounded-LRU cache for its eviction/accounting.
-        self._analytic_memo = LinearModelCache(maxsize=_ANALYTIC_MEMO_MAXSIZE)
+        self._analytic_memo = LinearModelCache(
+            maxsize=_ANALYTIC_MEMO_MAXSIZE, telemetry_name="analytic_memo"
+        )
         reference_z = self._pre_system.noiseless_measurements(self._angles)
         self._ensemble = generate_attack_ensemble(
             measurement_matrix=self._pre_system.matrix(),
@@ -290,6 +292,17 @@ class EffectivenessEvaluator:
     def evaluate_perturbation(self, perturbation, **kwargs) -> EffectivenessResult:
         """Evaluate a :class:`~repro.mtd.perturbation.ReactancePerturbation`."""
         return self.evaluate(perturbation.perturbed_reactances, **kwargs)
+
+    def cache_stats(self) -> dict[str, dict[str, Any]]:
+        """Accounting for the evaluator's per-perturbation analytic memo.
+
+        Surfaces the previously internal :meth:`LinearModelCache.stats`
+        counters (hits/misses/evictions/occupancy) so run reports and the
+        engine's per-scenario telemetry can attribute reuse to this
+        evaluator.  Keyed by cache name for forward compatibility with
+        evaluators that hold more than one cache.
+        """
+        return {"analytic_memo": self._analytic_memo.stats()}
 
 
 __all__ = [

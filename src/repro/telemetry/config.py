@@ -1,0 +1,92 @@
+"""The telemetry on/off switch.
+
+Telemetry is **off by default** and the whole subsystem is built around a
+cheap disabled fast path: every instrumentation site guards on
+:data:`_STATE.enabled` (one attribute read), :func:`~repro.telemetry.spans.span`
+returns a shared no-op object, and the metric helpers return immediately.
+The scientific outputs are bit-identical either way — telemetry only ever
+*observes*.
+
+The switch is controlled three ways, in increasing precedence:
+
+* the ``REPRO_TELEMETRY`` environment variable (``1``/``true``/``on``/…)
+  read at import time — the way batch jobs and pool workers inherit the
+  setting;
+* :func:`set_enabled` / :func:`enable` / :func:`disable` — the programmatic
+  API the CLI's ``--telemetry`` flag uses;
+* :func:`enabled_scope` — a context manager for tests and benchmarks.
+
+Pool workers do not rely on inheriting this module's state: the engine and
+orchestrator pass the flag explicitly through their worker entry points, so
+telemetry works under any ``multiprocessing`` start method.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Environment variable that switches telemetry on for a whole process tree.
+ENV_SWITCH = "REPRO_TELEMETRY"
+
+_TRUTHY = {"1", "true", "yes", "on", "enabled"}
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(ENV_SWITCH, "").strip().lower() in _TRUTHY
+
+
+class _State:
+    """Mutable process-local telemetry state (a slot read on hot paths)."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = _env_enabled()
+
+
+#: The process-local switch.  Hot paths read ``_STATE.enabled`` directly.
+_STATE = _State()
+
+
+def enabled() -> bool:
+    """Whether telemetry collection is currently on in this process."""
+    return _STATE.enabled
+
+
+def set_enabled(on: bool) -> bool:
+    """Set the switch; returns the previous value (for restore patterns)."""
+    previous = _STATE.enabled
+    _STATE.enabled = bool(on)
+    return previous
+
+
+def enable() -> None:
+    """Turn telemetry collection on."""
+    _STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn telemetry collection off (the default)."""
+    _STATE.enabled = False
+
+
+@contextmanager
+def enabled_scope(on: bool = True) -> Iterator[None]:
+    """Temporarily force the switch (used by tests and benchmarks)."""
+    previous = set_enabled(on)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+__all__ = [
+    "ENV_SWITCH",
+    "enabled",
+    "set_enabled",
+    "enable",
+    "disable",
+    "enabled_scope",
+]

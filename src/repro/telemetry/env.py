@@ -1,0 +1,57 @@
+"""Environment diagnostics stamped into run reports.
+
+Stored campaign results are only attributable if the environment that
+produced them is on record: interpreter and library versions, the machine
+shape, and the performance-relevant configuration (the sparse-backend
+threshold).  :func:`environment_info` collects all of it as a flat,
+JSON-safe dict; the orchestrator stamps it into every ``telemetry.json``
+and store manifest, and ``repro telemetry env`` prints it.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from typing import Any
+
+
+def environment_info() -> dict[str, Any]:
+    """A flat, JSON-safe description of the executing environment."""
+    info: dict[str, Any] = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "executable": sys.executable,
+    }
+    try:
+        from repro import __version__
+
+        info["repro"] = __version__
+    except Exception:  # pragma: no cover - partial installs
+        info["repro"] = None
+    for module_name in ("numpy", "scipy"):
+        try:
+            module = __import__(module_name)
+            info[module_name] = getattr(module, "__version__", None)
+        except ImportError:  # pragma: no cover - baked into the image
+            info[module_name] = None
+    try:
+        from repro.grid.matrices import SPARSE_BUS_THRESHOLD
+
+        info["sparse_bus_threshold"] = int(SPARSE_BUS_THRESHOLD)
+    except Exception:  # pragma: no cover - partial installs
+        info["sparse_bus_threshold"] = None
+    return info
+
+
+def format_environment(info: dict[str, Any] | None = None) -> str:
+    """Human-readable rendering of :func:`environment_info`."""
+    info = environment_info() if info is None else info
+    width = max(len(key) for key in info) if info else 0
+    return "\n".join(f"{key:<{width}}  {info[key]}" for key in sorted(info))
+
+
+__all__ = ["environment_info", "format_environment"]

@@ -60,6 +60,9 @@ from repro.mtd.subspace import subspace_angle
 from repro.opf.dc_opf import solve_dc_opf
 from repro.opf.reactance_opf import solve_reactance_opf
 from repro.opf.result import OPFResult
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.config import _STATE as _TELEMETRY
+from repro.telemetry.spans import span as _span
 from repro.timeseries.results import OperationResult
 from repro.timeseries.spec import OperationSpec, ProfileSpec, TuningSpec
 
@@ -283,6 +286,13 @@ def _tune_gamma(
         """Design + evaluate grid point ``index``; ``None`` when infeasible."""
         if index in probes:
             return probes[index]
+        if _TELEMETRY.enabled:
+            _metrics.counter("timeseries.tuning_probes")
+            with _span("timeseries.tuning_probe", grid_index=index):
+                return _probe_uncached(index)
+        return _probe_uncached(index)
+
+    def _probe_uncached(index: int) -> tuple[MTDDesignResult, float] | None:
         try:
             design = design_mtd_perturbation(
                 network,
@@ -457,6 +467,10 @@ def run_operation_trial(
     evaluator = _cached_evaluator(
         spec.grid, operation, spec.attack, spec.detector, spec.base_seed, hour
     )
+    if _TELEMETRY.enabled:
+        with _span("timeseries.hour", hour=hour):
+            _metrics.counter("timeseries.hours")
+            return _operate_hour(spec, network, hours[hour], evaluator, model_cache)
     return _operate_hour(spec, network, hours[hour], evaluator, model_cache)
 
 

@@ -287,3 +287,57 @@ class TestQueryPlanOrderMemo:
         query_results(other)
         query_results(other)
         assert calls["n"] == 2
+
+
+class TestTelemetryIntegration:
+    """Campaign runs persist a mergeable telemetry report without touching
+    the stored scientific records."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_telemetry(self):
+        from repro import telemetry
+
+        telemetry.disable()
+        telemetry.reset()
+        yield
+        telemetry.disable()
+        telemetry.reset()
+
+    def test_parallel_run_merges_worker_snapshots(self, tmp_path):
+        from repro import telemetry
+
+        telemetry.enable()
+        report = run_campaign(
+            quick_definition(), tmp_path / "t.campaign", n_workers=2
+        )
+        payload = telemetry.read_report(tmp_path / "t.campaign")
+        assert payload is not None and payload == report.telemetry
+        counters = payload["metrics"]["counters"]
+        n_points = plan_campaign(quick_definition()).n_points
+        assert counters["engine.scenarios"] == n_points
+        assert counters["engine.trials"] == 2 * n_points
+        # Worker-side cache traffic crossed the pool boundary.
+        assert sum(
+            v for k, v in counters.items() if k.startswith("cache.")
+        ) > 0
+        assert len(payload["shards"]["wall_seconds"]) == len(report.shards_run)
+
+    def test_records_identical_to_untelemetered_run(self, tmp_path):
+        from repro import telemetry
+
+        telemetry.enable()
+        run_campaign(quick_definition(), tmp_path / "on.campaign", n_workers=2)
+        telemetry.disable()
+        run_campaign(quick_definition(), tmp_path / "off.campaign")
+
+        def normalized(directory):
+            out = {}
+            for record in CampaignOrchestrator(directory).store.records():
+                record.pop("created_unix", None)
+                record.pop("elapsed_seconds", None)
+                out[record["spec_hash"]] = record
+            return out
+
+        assert normalized(tmp_path / "on.campaign") == normalized(
+            tmp_path / "off.campaign"
+        )

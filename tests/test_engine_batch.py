@@ -208,3 +208,49 @@ class TestResultCacheCorruption:
         assert cache.clear() == 1
         assert len(cache) == 0
         assert cache.get(spec) is None
+
+
+class TestTelemetryNeutrality:
+    """Telemetry collection must never perturb batched results."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_telemetry(self):
+        from repro import telemetry
+
+        telemetry.disable()
+        telemetry.reset()
+        yield
+        telemetry.disable()
+        telemetry.reset()
+
+    def test_batched_bit_identical_with_telemetry_enabled(self):
+        from repro import telemetry
+
+        spec = small_spec()
+        serial = serial_trials(spec)
+        telemetry.enable()
+        for batch_size in (1, 2, spec.n_trials):
+            chunks = [
+                list(range(start, min(start + batch_size, spec.n_trials)))
+                for start in range(0, spec.n_trials, batch_size)
+            ]
+            batched = [t for chunk in chunks for t in run_trial_batch(spec, chunk)]
+            assert [t.metrics for t in batched] == [t.metrics for t in serial]
+
+    def test_batch_snapshot_counts_model_cache_traffic(self):
+        from repro import telemetry
+
+        spec = small_spec(mtd=MTDSpec(policy="none"))
+        telemetry.enable()
+        trials, snapshot = run_trial_batch(spec, return_snapshot=True)
+        assert len(trials) == spec.n_trials
+        counters = snapshot["counters"]
+        assert counters["engine.trials"] == spec.n_trials
+        assert counters["engine.batches"] == 1
+        # With the 'none' policy every trial shares one perturbation: at
+        # most one memo miss (zero when the process-global memo is already
+        # warm from earlier tests), every other trial hits.
+        hits = counters.get("cache.analytic_memo.hits", 0)
+        misses = counters.get("cache.analytic_memo.misses", 0)
+        assert hits + misses == spec.n_trials
+        assert hits >= spec.n_trials - 1
