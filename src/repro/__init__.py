@@ -25,6 +25,7 @@ from repro.exceptions import (
     ConfigurationError,
     EstimationError,
     GridModelError,
+    IslandingError,
     MTDDesignError,
     OPFConvergenceError,
     OPFInfeasibleError,
@@ -45,7 +46,15 @@ from repro.grid import (
     reduced_measurement_matrix,
 )
 from repro.grid.cases import case4gs, case14, case30, synthetic_case
-from repro.powerflow import solve_dc_power_flow, ptdf_matrix
+from repro.powerflow import (
+    bridge_branches,
+    lodf_matrix,
+    post_outage_ptdf,
+    ptdf_matrix,
+    ptdf_with_branch_outage,
+    screen_branch_outages,
+    solve_dc_power_flow,
+)
 from repro.opf import OPFResult, solve_dc_opf, solve_reactance_opf
 from repro.estimation import (
     BadDataDetector,
@@ -89,6 +98,7 @@ from repro.loads import (
 from repro.analysis.montecarlo import MonteCarloSummary, repeat_experiment, summarize_values
 from repro.engine import (
     AttackSpec,
+    ContingencySpec,
     DetectorSpec,
     GridSpec,
     MTDSpec,
@@ -124,13 +134,14 @@ from repro.timeseries import (
 )
 from repro import telemetry
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     # exceptions
     "ReproError",
     "GridModelError",
     "CaseNotFoundError",
+    "IslandingError",
     "PowerFlowError",
     "OPFInfeasibleError",
     "OPFConvergenceError",
@@ -157,6 +168,11 @@ __all__ = [
     # power flow / OPF
     "solve_dc_power_flow",
     "ptdf_matrix",
+    "lodf_matrix",
+    "bridge_branches",
+    "post_outage_ptdf",
+    "ptdf_with_branch_outage",
+    "screen_branch_outages",
     "OPFResult",
     "solve_dc_opf",
     "solve_reactance_opf",
@@ -204,6 +220,7 @@ __all__ = [
     "AttackSpec",
     "DetectorSpec",
     "MTDSpec",
+    "ContingencySpec",
     "expand_grid",
     "ScenarioEngine",
     "run_scenario",

@@ -50,6 +50,7 @@ from repro.engine.scenarios import (
 )
 from repro.engine.spec import (
     AttackSpec,
+    ContingencySpec,
     DetectorSpec,
     GridSpec,
     MTDSpec,
@@ -64,6 +65,7 @@ __all__ = [
     "AttackSpec",
     "DetectorSpec",
     "MTDSpec",
+    "ContingencySpec",
     "expand_grid",
     "ScenarioEngine",
     "run_scenario",

@@ -20,7 +20,17 @@ from __future__ import annotations
 
 from typing import Callable, Mapping
 
-from repro.engine.spec import AttackSpec, DetectorSpec, GridSpec, MTDSpec, ScenarioSpec, expand_grid
+from functools import lru_cache
+
+from repro.engine.spec import (
+    AttackSpec,
+    ContingencySpec,
+    DetectorSpec,
+    GridSpec,
+    MTDSpec,
+    ScenarioSpec,
+    expand_grid,
+)
 from repro.exceptions import ConfigurationError
 from repro.timeseries.engine import daily_operation_spec
 from repro.timeseries.spec import ProfileSpec
@@ -240,6 +250,79 @@ def _tables() -> tuple[ScenarioSpec, ...]:
     )
 
 
+@lru_cache(maxsize=8)
+def _screenable_branches(case: str) -> tuple[int, ...]:
+    """Branches of ``case`` whose N-1 outage admits a post-contingency OPF.
+
+    Excludes bridges (their outage islands the grid — rejected with
+    :class:`~repro.exceptions.IslandingError` at derivation time) and
+    outages whose post-contingency flow limits make the DC-OPF infeasible
+    (on the tightly-rated IEEE 14-bus case a handful of lines are
+    security-critical at nominal load).  Deterministic per case, memoised
+    because suite builders may be invoked repeatedly.
+    """
+    from repro.exceptions import OPFInfeasibleError
+    from repro.grid.cases.registry import load_case
+    from repro.opf.dc_opf import solve_dc_opf
+    from repro.powerflow.contingency import bridge_branches
+
+    network = load_case(case)
+    bridges = set(bridge_branches(network))
+    screenable = []
+    for k in range(network.n_branches):
+        if k in bridges:
+            continue
+        try:
+            solve_dc_opf(network.with_branch_outages([k]))
+        except OPFInfeasibleError:
+            continue
+        screenable.append(k)
+    return tuple(screenable)
+
+
+def _n1_screening(case: str, *, seed: int) -> tuple[ScenarioSpec, ...]:
+    """N-1 contingency screening: the full MTD pipeline per outage.
+
+    One scenario per screenable single-branch outage (plus the intact-grid
+    reference point, whose no-op contingency keeps ``contingency.outage``
+    a groupable key across the whole suite): the post-contingency operating
+    point is re-dispatched, the attacker's ensemble is built against the
+    post-contingency measurement matrix, and each trial reports the usual
+    effectiveness metrics plus the post-contingency BDD false-alarm rate.
+    """
+    base = ScenarioSpec(
+        name=f"n1-{case}",
+        grid=GridSpec(case=case, baseline="dc-opf"),
+        attack=AttackSpec(n_attacks=200, seed=seed),
+        mtd=MTDSpec(policy="designed", gamma_threshold=0.25, design_method="two-stage"),
+        contingency=ContingencySpec(),
+        n_trials=2,
+        base_seed=41,
+        deltas=PAPER_DELTAS,
+        metric="eta(0.9)",
+        description=(
+            "N-1 contingency screening of the designed MTD: effectiveness "
+            "and BDD false-alarm rate under each post-contingency topology."
+        ),
+        tags=("n1", "contingency", case),
+    )
+    specs = [
+        base.with_updates(
+            name=f"n1-{case}-base",
+            description="Intact-grid reference point of the N-1 screen.",
+        )
+    ]
+    for k in _screenable_branches(case):
+        specs.append(
+            base.with_updates(
+                {"contingency.branch_outages": (int(k),)},
+                name=f"n1-{case}-b{k}",
+                description=f"Branch {k} outage on {case}.",
+            )
+        )
+    return tuple(specs)
+
+
 def _scale_suite() -> tuple[ScenarioSpec, ...]:
     """Beyond the paper: the same pipeline on progressively larger grids.
 
@@ -287,6 +370,8 @@ _SUITES: Mapping[str, Callable[[], tuple[ScenarioSpec, ...]]] = {
     "daily-ops": _daily_ops,
     "tables": _tables,
     "scale": _scale_suite,
+    "n1-screening": lambda: _n1_screening("ieee14", seed=11),
+    "n1-screening-30": lambda: _n1_screening("ieee30", seed=12),
 }
 
 

@@ -226,6 +226,61 @@ class MTDSpec:
 
 
 @dataclass(frozen=True)
+class ContingencySpec:
+    """An N-k contingency applied to the scenario's network.
+
+    Outage lists are first-class sweep dimensions: ``expand_grid(base,
+    {"contingency.branch_outages": [(0,), (1,), ...]})`` fans a base
+    scenario out into one spec per contingency, each content-hashed like
+    every other spec, so campaigns cache/resume per outage.
+
+    Attributes
+    ----------
+    branch_outages:
+        Branch indices taken out of service (sorted, deduplicated).  The
+        branches keep their slots in the network — measurement dimensions
+        and indexing are contingency-invariant — and an outage set that
+        islands the grid is rejected at trial setup with
+        :class:`~repro.exceptions.IslandingError` naming the branches.
+    generator_outages:
+        Generator indices taken out of service (dispatch range pinned to
+        ``[0, 0]``; the unit keeps its slot).
+    outage:
+        Derived scalar label, e.g. ``"none"``, ``"b5"`` or ``"b3+g1"`` —
+        the stable key for ``--group-by contingency.outage`` queries
+        (group-by requires scalar leaves, not lists).  Not an input: it is
+        recomputed from the outage lists.
+    """
+
+    branch_outages: tuple[int, ...] = ()
+    generator_outages: tuple[int, ...] = ()
+    outage: str = field(init=False, default="none")
+
+    def __post_init__(self) -> None:
+        branches = tuple(sorted({int(b) for b in _freeze(self.branch_outages)}))
+        generators = tuple(sorted({int(g) for g in _freeze(self.generator_outages)}))
+        if any(b < 0 for b in branches):
+            raise ConfigurationError(
+                f"branch_outages must be non-negative, got {list(branches)}"
+            )
+        if any(g < 0 for g in generators):
+            raise ConfigurationError(
+                f"generator_outages must be non-negative, got {list(generators)}"
+            )
+        object.__setattr__(self, "branch_outages", branches)
+        object.__setattr__(self, "generator_outages", generators)
+        label = "+".join(
+            [f"b{k}" for k in branches] + [f"g{k}" for k in generators]
+        )
+        object.__setattr__(self, "outage", label or "none")
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether this contingency leaves the network unchanged."""
+        return not self.branch_outages and not self.generator_outages
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A complete, self-describing Monte-Carlo experiment.
 
@@ -248,6 +303,13 @@ class ScenarioSpec:
         to the horizon length, the MTD policy must be ``"designed"`` (the
         per-hour tuning loop supersedes ``mtd.gamma_threshold``) and the
         detector method must be ``"analytic"``.
+    contingency:
+        Optional :class:`ContingencySpec` running the whole experiment on
+        the post-contingency network: the listed outages are applied to
+        the grid before the operating point, the attack ensemble and the
+        detector are built.  Contingency trials additionally record the
+        post-contingency BDD empirical false-alarm rate
+        (``bdd_false_alarm_rate``).  Mutually exclusive with ``operation``.
     n_trials:
         Number of Monte-Carlo trials.
     base_seed:
@@ -272,6 +334,7 @@ class ScenarioSpec:
     detector: DetectorSpec = field(default_factory=DetectorSpec)
     mtd: MTDSpec = field(default_factory=MTDSpec)
     operation: OperationSpec | None = None
+    contingency: ContingencySpec | None = None
     n_trials: int = 1
     base_seed: int = 0
     deltas: tuple[float, ...] = (0.5, 0.8, 0.9, 0.95)
@@ -296,6 +359,11 @@ class ScenarioSpec:
                 )
             # One trial per operated hour: the horizon defines the count.
             object.__setattr__(self, "n_trials", self.operation.n_hours())
+        if self.operation is not None and self.contingency is not None:
+            raise ConfigurationError(
+                "operation and contingency cannot be combined: time-series "
+                "scenarios operate the nominal topology"
+            )
         if self.n_trials <= 0:
             raise ConfigurationError(f"n_trials must be positive, got {self.n_trials}")
         if self.batch_size is not None and self.batch_size < 1:
@@ -311,13 +379,15 @@ class ScenarioSpec:
     def to_dict(self) -> dict[str, Any]:
         """Plain-data representation (tuples become lists, JSON-safe).
 
-        The ``operation`` key is present only when the component is set, so
-        plain Monte-Carlo specs keep their historical JSON shape (and
-        content hash).
+        The ``operation`` and ``contingency`` keys are present only when
+        the component is set, so plain Monte-Carlo specs keep their
+        historical JSON shape (and content hash).
         """
         payload = asdict(self)
         if self.operation is None:
             payload.pop("operation", None)
+        if self.contingency is None:
+            payload.pop("contingency", None)
         return payload
 
     @classmethod
@@ -330,6 +400,12 @@ class ScenarioSpec:
         payload["mtd"] = _component_from(MTDSpec, payload.get("mtd", {}))
         if payload.get("operation") is not None:
             payload["operation"] = OperationSpec.from_dict(payload["operation"])
+        if payload.get("contingency") is not None:
+            contingency = payload["contingency"]
+            if isinstance(contingency, Mapping):
+                # ``outage`` is a derived label, recomputed on construction.
+                contingency = {k: v for k, v in contingency.items() if k != "outage"}
+            payload["contingency"] = _component_from(ContingencySpec, contingency)
         known = {f.name for f in fields(cls)}
         unknown = set(payload) - known
         if unknown:
@@ -385,16 +461,28 @@ class ScenarioSpec:
         return spec
 
 
+#: Optional spec components that dotted update paths may descend into even
+#: when unset on the base spec: a path like ``contingency.branch_outages``
+#: materialises a default component first, so contingency-less base specs
+#: can be swept over outage dimensions directly.
+_OPTIONAL_COMPONENTS: dict[str, Any] = {}
+
+
 def _replace_path(obj: Any, full_path: str, parts: Sequence[str], value: Any) -> Any:
     """Rebuild ``obj`` with the dotted-path field replaced by ``value``."""
     if len(parts) == 1:
         return replace(obj, **{parts[0]: value})
     component = getattr(obj, parts[0], None)
+    if component is None and parts[0] in _OPTIONAL_COMPONENTS:
+        component = _OPTIONAL_COMPONENTS[parts[0]]()
     if not is_dataclass(component):
         raise ConfigurationError(
             f"unknown spec component {parts[0]!r} in update path {full_path!r}"
         )
     return replace(obj, **{parts[0]: _replace_path(component, full_path, parts[1:], value)})
+
+
+_OPTIONAL_COMPONENTS["contingency"] = ContingencySpec
 
 
 def _component_from(cls: type, data: Any) -> Any:
@@ -451,6 +539,7 @@ __all__ = [
     "AttackSpec",
     "DetectorSpec",
     "MTDSpec",
+    "ContingencySpec",
     "ScenarioSpec",
     "expand_grid",
 ]

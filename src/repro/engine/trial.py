@@ -22,7 +22,13 @@ from functools import lru_cache
 import numpy as np
 
 from repro.engine.results import TrialResult
-from repro.engine.spec import AttackSpec, DetectorSpec, GridSpec, ScenarioSpec
+from repro.engine.spec import (
+    AttackSpec,
+    ContingencySpec,
+    DetectorSpec,
+    GridSpec,
+    ScenarioSpec,
+)
 from repro.estimation.linear_model import LinearModelCache
 from repro.exceptions import ConfigurationError, MTDDesignError
 from repro.grid.cases.registry import load_case
@@ -54,10 +60,38 @@ def network_for_grid(grid: GridSpec) -> PowerNetwork:
     return network
 
 
+def apply_contingency(
+    network: PowerNetwork, contingency: ContingencySpec | None
+) -> PowerNetwork:
+    """The post-contingency network of a spec's contingency component.
+
+    Branch outages take the fast status-derivation path
+    (:meth:`PowerNetwork.with_branch_outages`), sharing the base network's
+    topology cache; generator outages pin the unit's dispatch range to
+    ``[0, 0]``.  ``None`` or a no-op contingency returns ``network``
+    unchanged.  Unknown indices raise
+    :class:`~repro.exceptions.GridModelError`; outage sets that island the
+    grid raise :class:`~repro.exceptions.IslandingError` naming the
+    branches.
+    """
+    if contingency is None or contingency.is_noop:
+        return network
+    derived = network
+    if contingency.branch_outages:
+        derived = derived.with_branch_outages(contingency.branch_outages)
+    if contingency.generator_outages:
+        derived = derived.with_generator_status(
+            {int(g): False for g in contingency.generator_outages}
+        )
+    return derived
+
+
 @lru_cache(maxsize=32)
-def _grid_context(grid: GridSpec) -> tuple[PowerNetwork, OPFResult]:
-    """The (deterministic) network and no-MTD operating point of a grid spec."""
-    network = network_for_grid(grid)
+def _grid_context(
+    grid: GridSpec, contingency: ContingencySpec | None = None
+) -> tuple[PowerNetwork, OPFResult]:
+    """The (deterministic) post-contingency network and no-MTD operating point."""
+    network = apply_contingency(network_for_grid(grid), contingency)
     if grid.baseline == "reactance-opf":
         baseline = solve_reactance_opf(network, n_random_starts=2, seed=0)
     else:
@@ -67,10 +101,13 @@ def _grid_context(grid: GridSpec) -> tuple[PowerNetwork, OPFResult]:
 
 @lru_cache(maxsize=32)
 def _shared_evaluator(
-    grid: GridSpec, attack: AttackSpec, detector: DetectorSpec
+    grid: GridSpec,
+    attack: AttackSpec,
+    detector: DetectorSpec,
+    contingency: ContingencySpec | None = None,
 ) -> EffectivenessEvaluator:
     """Evaluator with a pinned attack ensemble, shared by all trials."""
-    network, baseline = _grid_context(grid)
+    network, baseline = _grid_context(grid, contingency)
     return EffectivenessEvaluator(
         network,
         operating_angles_rad=baseline.angles_rad,
@@ -160,11 +197,22 @@ def _run_trial_body(
         from repro.timeseries.engine import run_operation_trial
 
         return run_operation_trial(spec, trial_index, model_cache=model_cache)
-    attack_seq, mtd_seq, noise_seq = trial_seed_sequence(spec.base_seed, trial_index).spawn(3)
+    # Contingency trials spawn a fourth stream for the false-alarm draws;
+    # spawned streams are derived independently per index, so the first
+    # three streams — and with them every existing metric — are identical
+    # to the contingency-free layout.
+    root = trial_seed_sequence(spec.base_seed, trial_index)
+    if spec.contingency is not None:
+        attack_seq, mtd_seq, noise_seq, false_alarm_seq = root.spawn(4)
+    else:
+        attack_seq, mtd_seq, noise_seq = root.spawn(3)
+        false_alarm_seq = None
 
-    network, baseline = _grid_context(spec.grid)
+    network, baseline = _grid_context(spec.grid, spec.contingency)
     if spec.attack.seed is not None:
-        evaluator = _shared_evaluator(spec.grid, spec.attack, spec.detector)
+        evaluator = _shared_evaluator(
+            spec.grid, spec.attack, spec.detector, spec.contingency
+        )
     else:
         evaluator = EffectivenessEvaluator(
             network,
@@ -198,6 +246,17 @@ def _run_trial_body(
     metrics["mean_detection_probability"] = float(np.mean(probs)) if probs.size else 0.0
     metrics["undetectable_fraction"] = effectiveness.undetectable_fraction()
     metrics["spa"] = float(spa)
+
+    if false_alarm_seq is not None:
+        # Post-contingency BDD health check: the empirical false-alarm
+        # rate of the perturbed detector at the (post-contingency)
+        # operating point, from the trial's dedicated fourth stream.
+        metrics["bdd_false_alarm_rate"] = evaluator.false_alarm_rate(
+            reactances,
+            n_trials=spec.detector.n_noise_trials,
+            seed=np.random.Generator(np.random.PCG64(false_alarm_seq)),
+            model_cache=model_cache,
+        )
 
     if spec.mtd.include_cost:
         cost = mtd_operational_cost(network, reactances, baseline_result=baseline)
@@ -286,5 +345,6 @@ __all__ = [
     "run_trial_instrumented",
     "trial_seed_sequence",
     "network_for_grid",
+    "apply_contingency",
     "clear_context_caches",
 ]

@@ -24,6 +24,21 @@ class CaseNotFoundError(GridModelError):
     """Raised when a named benchmark case is not present in the registry."""
 
 
+class IslandingError(GridModelError):
+    """Raised when a contingency would split the network into islands.
+
+    The DC state-estimation model (and the MTD analysis built on it)
+    requires a connected grid; a branch outage that disconnects one or more
+    buses is therefore rejected at derivation time rather than surfacing
+    later as a singular susceptance matrix.  The offending branch indices
+    are recorded on :attr:`branches`.
+    """
+
+    def __init__(self, message: str, *, branches: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        self.branches = tuple(int(b) for b in branches)
+
+
 class PowerFlowError(ReproError):
     """Raised when a power-flow computation cannot be completed.
 

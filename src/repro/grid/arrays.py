@@ -38,7 +38,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from repro.exceptions import GridModelError
+from repro.exceptions import GridModelError, IslandingError
 from repro.telemetry import metrics as _metrics
 from repro.telemetry.config import _STATE as _TELEMETRY
 
@@ -59,6 +59,45 @@ def _frozen(values: np.ndarray, dtype) -> np.ndarray:
         arr = arr.copy()
     arr.flags.writeable = False
     return arr
+
+
+def _disconnected_buses(
+    from_bus: np.ndarray, to_bus: np.ndarray, n_buses: int, status: np.ndarray
+) -> list[int]:
+    """Buses unreachable from bus 0 over the in-service branch graph.
+
+    Returns an empty list when the active subgraph is connected.  Used by
+    the contingency derivation paths to reject islanding outages with a
+    precise error instead of letting a singular susceptance matrix surface
+    downstream.
+    """
+    adjacency: list[list[int]] = [[] for _ in range(n_buses)]
+    for k in np.flatnonzero(status):
+        u, v = int(from_bus[k]), int(to_bus[k])
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    visited = np.zeros(n_buses, dtype=bool)
+    visited[0] = True
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        for neighbour in adjacency[node]:
+            if not visited[neighbour]:
+                visited[neighbour] = True
+                frontier.append(neighbour)
+    return [int(i) for i in np.flatnonzero(~visited)]
+
+
+def _normalized_status(status: np.ndarray) -> np.ndarray | None:
+    """Canonical form of a service-status mask: ``None`` when all-true.
+
+    The all-in-service case is the overwhelmingly common one, and
+    representing it as ``None`` keeps the status-free code paths (and their
+    outputs) bit-identical to the pre-contingency library.
+    """
+    if status.all():
+        return None
+    return _frozen(status, bool)
 
 
 class TopologyCache:
@@ -169,9 +208,18 @@ class NetworkArrays:
     accept either representation interchangeably.
 
     Instances are cheap to derive: :meth:`with_reactances` swaps the
-    reactance array (after a positivity check) and shares every other field
-    and the topology cache with its parent.  Equality is identity — use the
-    field arrays directly when comparing contents.
+    reactance array (after a positivity check) and :meth:`with_branch_status`
+    swaps the service-status mask (after an islanding check); both share
+    every other field and the topology cache with their parent.  Equality is
+    identity — use the field arrays directly when comparing contents.
+
+    ``branch_status`` is ``None`` when every branch is in service (the
+    common case, chosen so the status-free fast paths stay bit-identical),
+    otherwise a frozen boolean mask of length ``L``.  An out-of-service
+    branch keeps its slot — the incidence matrix, the measurement dimension
+    ``M = 2L + N`` and all branch indexing are unchanged — and only its
+    susceptance is zeroed by the matrix builders, which is what lets every
+    outage derivative share one :class:`TopologyCache`.
     """
 
     base_mva: float
@@ -190,6 +238,7 @@ class NetworkArrays:
     gen_p_max_mw: np.ndarray
     gen_cost_per_mwh: np.ndarray
     topology: TopologyCache = field(repr=False)
+    branch_status: np.ndarray | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     # Construction
@@ -244,17 +293,33 @@ class NetworkArrays:
                 float,
             ),
             gen_bus=topology.gen_bus,
+            # Out-of-service generators keep their slot with a [0, 0]
+            # dispatch range, so the OPF constraint shapes are stable
+            # across generator contingencies.
             gen_p_min_mw=_frozen(
-                np.fromiter((g.p_min_mw for g in generators), dtype=float, count=G), float
+                np.fromiter(
+                    (g.p_min_mw if g.in_service else 0.0 for g in generators),
+                    dtype=float,
+                    count=G,
+                ),
+                float,
             ),
             gen_p_max_mw=_frozen(
-                np.fromiter((g.p_max_mw for g in generators), dtype=float, count=G), float
+                np.fromiter(
+                    (g.p_max_mw if g.in_service else 0.0 for g in generators),
+                    dtype=float,
+                    count=G,
+                ),
+                float,
             ),
             gen_cost_per_mwh=_frozen(
                 np.fromiter((g.cost_per_mwh for g in generators), dtype=float, count=G),
                 float,
             ),
             topology=topology,
+            branch_status=_normalized_status(
+                np.fromiter((b.in_service for b in branches), dtype=bool, count=L)
+            ),
         )
 
     def with_reactances(self, reactances: Sequence[float] | np.ndarray) -> "NetworkArrays":
@@ -273,6 +338,55 @@ class NetworkArrays:
         if np.any(x <= 0):
             raise GridModelError("all reactances must be strictly positive")
         return replace(self, branch_reactance=_frozen(x, float))
+
+    def with_branch_status(
+        self, status: Sequence[bool] | np.ndarray
+    ) -> "NetworkArrays":
+        """The topology-status derivative — the contingency fast path.
+
+        ``status`` holds one boolean per branch (``True`` = in service).
+        The wiring arrays and the :class:`TopologyCache` are shared with
+        ``self`` — an outage zeroes the branch's susceptance in the matrix
+        builders instead of deleting its incidence column — so a contingency
+        screen over thousands of outages never rebuilds topology artifacts.
+        Outages that would island the grid are rejected with
+        :class:`~repro.exceptions.IslandingError` naming the out-of-service
+        branches.
+        """
+        s = np.asarray(status, dtype=bool).ravel()
+        if s.shape[0] != self.n_branches:
+            raise GridModelError(
+                f"expected {self.n_branches} status flags, got {s.shape[0]}"
+            )
+        normalized = _normalized_status(s)
+        if normalized is None:
+            if self.branch_status is None:
+                return self
+            return replace(self, branch_status=None)
+        lost = _disconnected_buses(
+            self.branch_from, self.branch_to, self.n_buses, s
+        )
+        if lost:
+            outaged = tuple(int(k) for k in np.flatnonzero(~s))
+            raise IslandingError(
+                f"branch outage {list(outaged)} islands the network: "
+                f"buses {lost} are disconnected",
+                branches=outaged,
+            )
+        return replace(self, branch_status=normalized)
+
+    def with_branch_outages(self, branch_indices: Sequence[int]) -> "NetworkArrays":
+        """Convenience wrapper: take the listed branches out of service.
+
+        Outages compose with any outages already present on ``self``.
+        """
+        status = self.in_service_mask()
+        for index in branch_indices:
+            k = int(index)
+            if not (0 <= k < self.n_branches):
+                raise GridModelError(f"unknown branch index {k}")
+            status[k] = False
+        return self.with_branch_status(status)
 
     # ------------------------------------------------------------------
     # PowerNetwork read-API mirror
@@ -309,8 +423,27 @@ class NetworkArrays:
 
     @property
     def dfacts_branches(self) -> tuple[int, ...]:
-        """Indices of branches equipped with D-FACTS devices."""
-        return tuple(int(i) for i in np.flatnonzero(self.branch_has_dfacts))
+        """Indices of in-service branches equipped with D-FACTS devices."""
+        return tuple(int(i) for i in np.flatnonzero(self._active_dfacts()))
+
+    def _active_dfacts(self) -> np.ndarray:
+        """Boolean mask of D-FACTS branches that are in service."""
+        if self.branch_status is None:
+            return self.branch_has_dfacts
+        return self.branch_has_dfacts & self.branch_status
+
+    def in_service_mask(self) -> np.ndarray:
+        """Per-branch service status as a fresh mutable boolean vector."""
+        if self.branch_status is None:
+            return np.ones(self.n_branches, dtype=bool)
+        return self.branch_status.copy()
+
+    @property
+    def n_active_branches(self) -> int:
+        """Number of in-service branches."""
+        if self.branch_status is None:
+            return self.n_branches
+        return int(np.count_nonzero(self.branch_status))
 
     def loads_mw(self) -> np.ndarray:
         """Bus load vector in MW (a fresh mutable copy)."""
@@ -327,8 +460,9 @@ class NetworkArrays:
         per-component :attr:`Branch.reactance_min`/``_max`` convention.
         """
         x = self.branch_reactance
-        x_min = np.where(self.branch_has_dfacts, x * self.branch_dfacts_min, x)
-        x_max = np.where(self.branch_has_dfacts, x * self.branch_dfacts_max, x)
+        dfacts = self._active_dfacts()
+        x_min = np.where(dfacts, x * self.branch_dfacts_min, x)
+        x_max = np.where(dfacts, x * self.branch_dfacts_max, x)
         return x_min, x_max
 
     def flow_limits_mw(self) -> np.ndarray:

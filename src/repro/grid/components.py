@@ -73,6 +73,11 @@ class Branch:
         Allowed reactance range as multiples of the nominal reactance, e.g.
         ``0.5`` / ``1.5`` for the paper's ``η_max = 0.5``.  Ignored when
         ``has_dfacts`` is false.
+    in_service:
+        Whether the branch is energised.  An out-of-service branch keeps
+        its position in the branch list (so measurement dimensions and
+        branch indexing are stable across contingencies) but carries no
+        flow: the DC model treats it as zero susceptance.
     name:
         Optional label.
     """
@@ -85,6 +90,7 @@ class Branch:
     has_dfacts: bool = False
     dfacts_min_factor: float = 1.0
     dfacts_max_factor: float = 1.0
+    in_service: bool = True
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -156,6 +162,10 @@ class Branch:
             dfacts_max_factor=float(max_factor),
         )
 
+    def with_status(self, in_service: bool) -> "Branch":
+        """Return a copy of this branch with a different service status."""
+        return replace(self, in_service=bool(in_service))
+
     def endpoints(self) -> tuple[int, int]:
         """Return ``(from_bus, to_bus)``."""
         return (self.from_bus, self.to_bus)
@@ -178,6 +188,10 @@ class Generator:
     cost_per_mwh:
         Linear marginal cost ``c_i`` in $/MWh, as in the paper's
         ``C_i(G_i) = c_i · G_i`` model.
+    in_service:
+        Whether the unit is available for dispatch.  An out-of-service
+        generator keeps its slot in the generator list but contributes a
+        ``[0, 0]`` dispatch range to the OPF.
     name:
         Optional label.
     """
@@ -187,6 +201,7 @@ class Generator:
     p_max_mw: float
     p_min_mw: float = 0.0
     cost_per_mwh: float = 0.0
+    in_service: bool = True
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -209,6 +224,10 @@ class Generator:
             raise GridModelError(
                 f"generator {self.index}: cost must be non-negative, got {self.cost_per_mwh}"
             )
+
+    def with_status(self, in_service: bool) -> "Generator":
+        """Return a copy of this generator with a different service status."""
+        return replace(self, in_service=bool(in_service))
 
     def cost_of(self, output_mw: float) -> float:
         """Generation cost, in $, of producing ``output_mw`` for one hour."""

@@ -50,6 +50,7 @@ def network_to_dict(network: PowerNetwork) -> dict[str, Any]:
                 "has_dfacts": branch.has_dfacts,
                 "dfacts_min_factor": branch.dfacts_min_factor,
                 "dfacts_max_factor": branch.dfacts_max_factor,
+                "in_service": branch.in_service,
                 "name": branch.name,
             }
             for branch in network.branches
@@ -61,6 +62,7 @@ def network_to_dict(network: PowerNetwork) -> dict[str, Any]:
                 "p_min_mw": gen.p_min_mw,
                 "p_max_mw": gen.p_max_mw,
                 "cost_per_mwh": gen.cost_per_mwh,
+                "in_service": gen.in_service,
                 "name": gen.name,
             }
             for gen in network.generators
@@ -135,6 +137,7 @@ def network_from_dict(data: Mapping[str, Any]) -> PowerNetwork:
                 has_dfacts=bool(item.get("has_dfacts", False)),
                 dfacts_min_factor=float(item.get("dfacts_min_factor", 1.0)),
                 dfacts_max_factor=float(item.get("dfacts_max_factor", 1.0)),
+                in_service=bool(item.get("in_service", True)),
                 name=str(item.get("name", "")),
             )
             for item in _by_index(data["branch"])
@@ -146,6 +149,7 @@ def network_from_dict(data: Mapping[str, Any]) -> PowerNetwork:
                 p_min_mw=float(item.get("p_min_mw", 0.0)),
                 p_max_mw=float(item["p_max_mw"]),
                 cost_per_mwh=float(item.get("cost_per_mwh", 0.0)),
+                in_service=bool(item.get("in_service", True)),
                 name=str(item.get("name", "")),
             )
             for item in _by_index(data["gen"])

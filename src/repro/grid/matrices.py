@@ -80,7 +80,14 @@ def use_sparse_backend(network: NetworkLike, sparse: bool | None = None) -> bool
 def _reciprocal_reactances(
     arrays: NetworkArrays, reactances: np.ndarray | None = None
 ) -> np.ndarray:
-    """The diagonal of ``D`` as a vector ``b = 1/x``, shape ``(L,)``."""
+    """The diagonal of ``D`` as a vector ``b = 1/x``, shape ``(L,)``.
+
+    Out-of-service branches (``arrays.branch_status``) contribute zero
+    susceptance: they keep their row/column slots in every matrix — so the
+    measurement dimension and branch indexing are contingency-invariant —
+    but carry no flow.  ``branch_status is None`` (all in service) skips
+    the masking entirely, keeping the common path bit-identical.
+    """
     x = arrays.branch_reactance if reactances is None else np.asarray(reactances, dtype=float)
     if x.shape[0] != arrays.n_branches:
         raise ValueError(
@@ -88,7 +95,11 @@ def _reciprocal_reactances(
         )
     if np.any(x <= 0):
         raise ValueError("all reactances must be strictly positive")
-    return 1.0 / x
+    b = 1.0 / x
+    status = arrays.branch_status
+    if status is not None:
+        b = np.where(status, b, 0.0)
+    return b
 
 
 def incidence_matrix(network: NetworkLike) -> np.ndarray:

@@ -119,9 +119,11 @@ class PowerNetwork:
             raise GridModelError("the network graph must be connected")
 
     def _is_connected(self) -> bool:
-        """Breadth-first connectivity check over the branch graph."""
+        """Breadth-first connectivity check over the in-service branch graph."""
         adjacency: dict[int, list[int]] = {bus.index: [] for bus in self.buses}
         for branch in self.branches:
+            if not branch.in_service:
+                continue
             adjacency[branch.from_bus].append(branch.to_bus)
             adjacency[branch.to_bus].append(branch.from_bus)
         visited = {self.buses[0].index}
@@ -187,8 +189,16 @@ class PowerNetwork:
 
     @property
     def dfacts_branches(self) -> tuple[int, ...]:
-        """Indices of branches equipped with D-FACTS devices (the set L_D)."""
-        return tuple(branch.index for branch in self.branches if branch.has_dfacts)
+        """Indices of in-service D-FACTS-equipped branches (the set L_D)."""
+        return tuple(
+            branch.index
+            for branch in self.branches
+            if branch.has_dfacts and branch.in_service
+        )
+
+    def branch_status(self) -> np.ndarray:
+        """Per-branch service status as a boolean vector (``True`` = live)."""
+        return np.array([branch.in_service for branch in self.branches], dtype=bool)
 
     # ------------------------------------------------------------------
     # Vector views
@@ -278,6 +288,96 @@ class PowerNetwork:
         object.__setattr__(derived, "name", self.name)
         object.__setattr__(derived, "_arrays", self.arrays.with_reactances(x))
         return derived
+
+    def with_branch_status(
+        self, status: Sequence[bool] | np.ndarray
+    ) -> "PowerNetwork":
+        """Return a copy with per-branch service status replaced.
+
+        ``status`` holds one boolean per branch (``True`` = in service),
+        ordered by branch index.  Like :meth:`with_reactances` this is a
+        *fast derivation path*: out-of-service branches keep their slot in
+        the branch list (incidence, measurement dimensions and indexing are
+        unchanged — only the branch susceptance is zeroed by the matrix
+        builders), so the derived network shares its parent's cached
+        :class:`~repro.grid.arrays.TopologyCache`, and the only structural
+        check that a status change can invalidate — connectivity of the
+        active subgraph — runs incrementally in
+        :meth:`NetworkArrays.with_branch_status
+        <repro.grid.arrays.NetworkArrays.with_branch_status>`.  An outage
+        set that islands the grid raises
+        :class:`~repro.exceptions.IslandingError` naming the branches.
+        """
+        s = np.asarray(status, dtype=bool).ravel()
+        if s.shape[0] != self.n_branches:
+            raise GridModelError(
+                f"expected {self.n_branches} status flags, got {s.shape[0]}"
+            )
+        # Runs the islanding check (and raises) before any sharing happens.
+        derived_arrays = self.arrays.with_branch_status(s)
+        new_branches = tuple(
+            branch if branch.in_service == bool(s[branch.index])
+            else branch.with_status(bool(s[branch.index]))
+            for branch in self.branches
+        )
+        derived = object.__new__(PowerNetwork)
+        object.__setattr__(derived, "buses", self.buses)
+        object.__setattr__(derived, "branches", new_branches)
+        object.__setattr__(derived, "generators", self.generators)
+        object.__setattr__(derived, "base_mva", self.base_mva)
+        object.__setattr__(derived, "name", self.name)
+        object.__setattr__(derived, "_arrays", derived_arrays)
+        return derived
+
+    def with_branch_outages(self, branch_indices: Iterable[int]) -> "PowerNetwork":
+        """Return a copy with the listed branches taken out of service.
+
+        Outages compose with any already present on ``self``; unknown
+        branch indices raise :class:`GridModelError`, islanding outages
+        raise :class:`~repro.exceptions.IslandingError`.
+        """
+        status = self.branch_status()
+        for index in branch_indices:
+            k = int(index)
+            if not (0 <= k < self.n_branches):
+                raise GridModelError(f"unknown branch index {k}")
+            status[k] = False
+        return self.with_branch_status(status)
+
+    def with_generator_status(
+        self, status: Sequence[bool] | np.ndarray | Mapping[int, bool]
+    ) -> "PowerNetwork":
+        """Return a copy with per-generator service status replaced.
+
+        ``status`` is either a full per-generator vector or a mapping
+        ``{generator_index: in_service}`` of units to change.  Generator
+        outages do not change the network graph, so this goes through the
+        ordinary validated constructor.
+        """
+        if isinstance(status, Mapping):
+            flags = [gen.in_service for gen in self.generators]
+            for index, value in status.items():
+                if index < 0 or index >= self.n_generators:
+                    raise GridModelError(f"unknown generator index {index}")
+                flags[index] = bool(value)
+        else:
+            vector = np.asarray(status, dtype=bool).ravel()
+            if vector.shape[0] != self.n_generators:
+                raise GridModelError(
+                    f"expected {self.n_generators} status flags, got {vector.shape[0]}"
+                )
+            flags = [bool(v) for v in vector]
+        new_generators = tuple(
+            gen if gen.in_service == flags[gen.index] else gen.with_status(flags[gen.index])
+            for gen in self.generators
+        )
+        return PowerNetwork(
+            buses=self.buses,
+            branches=self.branches,
+            generators=new_generators,
+            base_mva=self.base_mva,
+            name=self.name,
+        )
 
     def with_loads(self, loads_mw: Sequence[float] | np.ndarray | Mapping[int, float]) -> "PowerNetwork":
         """Return a copy of the network with bus loads replaced.

@@ -274,6 +274,29 @@ class EffectivenessEvaluator:
             method=method,
         )
 
+    def false_alarm_rate(
+        self,
+        perturbed_reactances: np.ndarray,
+        n_trials: int = 1000,
+        seed: int | np.random.Generator | None = 0,
+        model_cache: LinearModelCache | None = None,
+    ) -> float:
+        """Empirical BDD false-alarm rate of one perturbation, attack-free.
+
+        Draws ``n_trials`` noisy (unattacked) measurement vectors at the
+        evaluator's operating point and reports the fraction the
+        post-perturbation detector flags — the operational sanity check
+        that a perturbation (or a post-contingency topology) keeps the
+        BDD's alarm rate at its design level ``α``.
+        """
+        x = np.asarray(perturbed_reactances, dtype=float).ravel()
+        detector = self._build_detector(x, model_cache)
+        return float(
+            detector.empirical_false_positive_rate(
+                self._angles, n_trials=n_trials, rng=as_generator(seed)
+            )
+        )
+
     def _build_detector(
         self, reactances: np.ndarray, model_cache: LinearModelCache | None
     ) -> BadDataDetector:

@@ -7,6 +7,14 @@ branch flows are ``F_l = (θ_i − θ_j) / x_l`` and nodal balance is
 
 from repro.powerflow.dc import DCPowerFlowResult, solve_dc_power_flow, flows_from_angles
 from repro.powerflow.ptdf import ptdf_matrix, generation_shift_factors
+from repro.powerflow.contingency import (
+    ContingencyScreenResult,
+    bridge_branches,
+    lodf_matrix,
+    post_outage_ptdf,
+    ptdf_with_branch_outage,
+    screen_branch_outages,
+)
 
 __all__ = [
     "DCPowerFlowResult",
@@ -14,4 +22,10 @@ __all__ = [
     "flows_from_angles",
     "ptdf_matrix",
     "generation_shift_factors",
+    "ContingencyScreenResult",
+    "bridge_branches",
+    "lodf_matrix",
+    "post_outage_ptdf",
+    "ptdf_with_branch_outage",
+    "screen_branch_outages",
 ]

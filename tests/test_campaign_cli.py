@@ -16,7 +16,14 @@ import pytest
 
 from repro.campaign import CampaignDefinition, CampaignStore, plan_campaign
 from repro.campaign.cli import main
-from repro.engine import AttackSpec, DetectorSpec, GridSpec, MTDSpec, ScenarioSpec
+from repro.engine import (
+    AttackSpec,
+    ContingencySpec,
+    DetectorSpec,
+    GridSpec,
+    MTDSpec,
+    ScenarioSpec,
+)
 
 REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
 
@@ -255,3 +262,178 @@ class TestKillResume:
         plan = plan_campaign(definition)
         assert store.completed_hashes() == set(plan.items)
         assert len(store) == self.N_POINTS
+
+
+class TestContingencyCampaign:
+    """Campaigns sweeping contingency dimensions: per-outage spec hashes
+    drive the resume accounting, and the derived scalar ``outage`` label
+    is a first-class ``--group-by`` key."""
+
+    #: Screenable (non-bridge, OPF-feasible) ieee14 branch outages.
+    OUTAGES = (1, 4, 6, 7)
+
+    def definition(self) -> CampaignDefinition:
+        base = cli_base(name="n1-cli", contingency=ContingencySpec())
+        return CampaignDefinition(
+            name="n1-cli",
+            base=base,
+            grids=(
+                {
+                    "contingency.branch_outages": tuple((k,) for k in self.OUTAGES),
+                    "attack.ratio": (0.06, 0.08),
+                },
+            ),
+            shard_size=2,
+        )
+
+    def test_resume_executes_exactly_the_missing_outage_hashes(self, tmp_path, capsys):
+        definition = self.definition()
+        def_path = write_definition(tmp_path / "campaign.json", definition)
+        store_path = str(tmp_path / "n1.campaign")
+
+        # Checkpoint after two shards: four of eight outage points durable.
+        assert main(["campaign", "run", str(def_path), "--store", store_path,
+                     "--shard-limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "executed 4" in out and "incomplete" in out
+        assert main(["campaign", "status", "--store", store_path]) == 1
+        assert "4/8 scenarios complete" in capsys.readouterr().out
+
+        plan = plan_campaign(definition)
+        store = CampaignStore(store_path)
+        completed = store.completed_hashes()
+        missing = set(plan.items) - completed
+        assert len(missing) == 4
+
+        # Resume executes exactly the missing hashes — nothing twice.
+        assert main(["campaign", "resume", "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        match = re.search(r"executed (\d+), replayed (\d+) from cache, skipped (\d+)", out)
+        assert match, out
+        executed, replayed, skipped = map(int, match.groups())
+        assert executed == len(missing)
+        assert replayed == 0
+        assert skipped == len(completed)
+        store = CampaignStore(store_path)
+        assert store.completed_hashes() == set(plan.items)
+        assert len(store) == len(self.OUTAGES) * 2
+
+        # Every result derives from a distinct (outage, ratio) pair and the
+        # contingency trials carry the per-topology false-alarm metric.
+        results = list(store.results())
+        pairs = {(r.spec.contingency.outage, r.spec.attack.ratio) for r in results}
+        assert len(pairs) == len(results)
+        assert all("bdd_false_alarm_rate" in r.trials[0].metrics for r in results)
+
+    def test_query_groups_by_outage_label(self, tmp_path, capsys):
+        definition = self.definition()
+        def_path = write_definition(tmp_path / "campaign.json", definition)
+        store_path = str(tmp_path / "n1.campaign")
+        assert main(["campaign", "run", str(def_path), "--store", store_path]) == 0
+        capsys.readouterr()
+
+        # Grouping by the derived scalar label pools the two attack ratios
+        # of each outage into one row.
+        csv_path = tmp_path / "grouped.csv"
+        assert main(["campaign", "query", "--store", store_path,
+                     "--metric", "eta(0.9)", "--group-by", "contingency.outage",
+                     "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "8 scenario(s)" in out
+        for k in self.OUTAGES:
+            assert f"b{k}" in out
+        # The CSV export stays per-scenario (8 rows), the group table pools.
+        rows = csv_path.read_text().strip().splitlines()
+        assert len(rows) == 1 + len(self.OUTAGES) * 2
+
+        from repro.campaign.query import summarize_groups
+
+        results = list(CampaignStore(store_path).results())
+        groups = summarize_groups(
+            results, metric="eta(0.9)", group_by=["contingency.outage"]
+        )
+        assert [group.key for group in groups] == [(f"b{k}",) for k in self.OUTAGES]
+        assert all(group.n_scenarios == 2 for group in groups)
+
+        # Filtering on the label selects one outage's scenarios.
+        assert main(["campaign", "query", "--store", store_path,
+                     "--where", "contingency.outage=b4"]) == 0
+        assert "2 scenario(s)" in capsys.readouterr().out
+
+
+class TestContingencyKillResume:
+    """SIGKILL a campaign mid-N-1-screen, then resume: the missing outage
+    hashes — and only those — re-execute."""
+
+    OUTAGES = (1, 4, 6, 7, 8, 9, 10, 11, 12, 14, 15, 16)
+    N_POINTS = len(OUTAGES)
+
+    def definition(self) -> CampaignDefinition:
+        base = cli_base(
+            name="n1-kill",
+            attack=AttackSpec(n_attacks=60, seed=1),
+            detector=DetectorSpec(method="monte-carlo", n_noise_trials=1200),
+            contingency=ContingencySpec(),
+        )
+        return CampaignDefinition(
+            name="n1-kill",
+            base=base,
+            grids=({"contingency.branch_outages": tuple((k,) for k in self.OUTAGES)},),
+            shard_size=1,
+        )
+
+    def test_kill_mid_screen_then_resume(self, tmp_path):
+        definition = self.definition()
+        def_path = write_definition(tmp_path / "campaign.json", definition)
+        store_dir = tmp_path / "n1-kill.campaign"
+
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = REPO_SRC + (os.pathsep + existing if existing else "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "campaign", "run", str(def_path),
+             "--store", str(store_dir)],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, env=env,
+        )
+        try:
+            deadline = time.time() + 120
+            while time.time() < deadline:
+                if durable_records(store_dir) >= 2:
+                    break
+                if process.poll() is not None:
+                    pytest.fail("campaign finished before it could be killed; "
+                                "increase the per-point budget")
+                time.sleep(0.01)
+            else:
+                pytest.fail("campaign produced no durable results to kill over")
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=60)
+
+        completed_at_kill = durable_records(store_dir)
+        assert 0 < completed_at_kill < self.N_POINTS
+
+        resume = subprocess.run(
+            [sys.executable, "-m", "repro", "campaign", "resume",
+             "--store", str(store_dir)],
+            capture_output=True, text=True, env=env, timeout=600,
+        )
+        assert resume.returncode == 0, resume.stderr
+        match = re.search(
+            r"executed (\d+), replayed (\d+) from cache, skipped (\d+)", resume.stdout
+        )
+        assert match, resume.stdout
+        executed, replayed, skipped = map(int, match.groups())
+        assert skipped == completed_at_kill
+        assert executed == self.N_POINTS - completed_at_kill
+        assert replayed == 0
+
+        # The store holds exactly one result per screened outage.
+        store = CampaignStore(store_dir)
+        plan = plan_campaign(definition)
+        assert store.completed_hashes() == set(plan.items)
+        labels = {result.spec.contingency.outage for result in store.results()}
+        assert labels == {f"b{k}" for k in self.OUTAGES}
