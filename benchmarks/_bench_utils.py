@@ -6,6 +6,7 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
 import time
 from pathlib import Path
 from typing import Any, Callable
@@ -14,6 +15,27 @@ import numpy as np
 
 from repro.grid.matrices import reduced_measurement_matrix
 from repro.mtd.design import max_spa_perturbation, spa_of_reactances
+
+#: Headline-metric preference per BENCH payload, first match wins.  A copy
+#: of scripts/check_bench_manifest.py's tuple (that script must import
+#: without repro/numpy, this module needs both) — a tier-1 test pins the
+#: two in sync.
+KEY_METRIC_CANDIDATES = (
+    "overhead_ratio",
+    "speedup",
+    "min_speedup",
+    "trials_per_second",
+    "campaign_seconds",
+    "incremental_seconds",
+    "day_seconds",
+    "sweep_seconds",
+    "engine_seconds",
+    "total_seconds",
+    "table_seconds",
+    "opf_seconds",
+    "redispatch_seconds",
+    "elapsed_seconds",
+)
 
 
 def print_banner(title: str) -> None:
@@ -46,7 +68,54 @@ def emit_bench_json(name: str, payload: dict) -> Path:
     record = {"name": name, "created_unix": time.time(), **payload}
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     print(f"[bench] wrote {path}")
+    _append_history(out_dir, record)
     return path
+
+
+def _git_sha() -> str | None:
+    """Short sha of the working tree, or ``None`` outside a git checkout."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = result.stdout.strip()
+    return sha if result.returncode == 0 and sha else None
+
+
+def _append_history(out_dir: Path, record: dict) -> None:
+    """Append the record's headline metric to the perf timeline.
+
+    One fsync'd line per emission into ``history.ndjson`` next to the
+    BENCH records; ``scripts/check_bench_manifest.py --compare`` reads it
+    back to flag regressions.  Records with no recognised headline metric
+    are skipped (nothing to trend).
+    """
+    for candidate in KEY_METRIC_CANDIDATES:
+        value = record.get(candidate)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            metric, metric_value = candidate, float(value)
+            break
+    else:
+        return
+    entry = {
+        "name": record["name"],
+        "created_unix": record["created_unix"],
+        "git_sha": _git_sha(),
+        "scale": record.get("scale"),
+        "metric": metric,
+        "value": metric_value,
+    }
+    line = (json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n").encode()
+    with (out_dir / "history.ndjson").open("ab") as handle:
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())
 
 
 def gamma_grid(upper: float, step: float = 0.05) -> np.ndarray:

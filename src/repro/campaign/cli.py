@@ -33,15 +33,20 @@ from repro.campaign.orchestrator import CampaignOrchestrator, CampaignReport
 from repro.campaign.query import export_csv, query_results, summarize_groups
 from repro.campaign.store import CampaignStore
 from repro.campaign.suites import available_campaigns, campaign_from_suite
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, TelemetryError
 from repro.telemetry import (
     configure_logging,
     enable as enable_telemetry,
     format_environment,
     format_report,
+    load_report,
     log_event,
-    read_report,
     telemetry_path,
+)
+from repro.telemetry.export import (
+    metrics_prom_path,
+    render_openmetrics,
+    render_otlp_json,
 )
 
 
@@ -96,6 +101,7 @@ def _print_report(report: CampaignReport, store: str) -> None:
     print(f"  store {store}: {state}")
     if report.telemetry is not None:
         print(f"  telemetry report: {telemetry_path(store)}")
+        print(f"  metrics exposition: {metrics_prom_path(store)}")
     log_event(
         "campaign.run.finished",
         store=str(store),
@@ -143,10 +149,10 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     ]
     print(format_table(["shard", "points", "completed", "state"], rows))
     if getattr(args, "telemetry", False):
-        report = read_report(args.store)
-        if report is None:
-            print(f"no telemetry report at {telemetry_path(args.store)} "
-                  "(run the campaign with --telemetry)")
+        try:
+            report = load_report(args.store)
+        except TelemetryError as error:
+            print(str(error))
         else:
             print()
             print(format_report(report))
@@ -254,16 +260,32 @@ def _cmd_suites_run(args: argparse.Namespace) -> int:
     return 0 if report.complete or args.shard_limit is not None else 1
 
 
+def _cmd_campaign_watch(args: argparse.Namespace) -> int:
+    from repro.campaign.watch import run_watch
+
+    return run_watch(
+        args.store,
+        once=args.once,
+        json_output=args.json,
+        interval=args.interval,
+        stall_factor=args.stall_factor,
+        serve_port=args.serve_metrics,
+    )
+
+
 def _cmd_telemetry_show(args: argparse.Namespace) -> int:
-    report = read_report(args.store)
-    if report is None:
-        print(
-            f"error: no telemetry report at {telemetry_path(args.store)} "
-            "(run the campaign with --telemetry)",
-            file=sys.stderr,
-        )
+    try:
+        report = load_report(args.store)
+    except TelemetryError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 1
-    print(format_report(report))
+    fmt = getattr(args, "format", "text")
+    if fmt == "prom":
+        sys.stdout.write(render_openmetrics(report.get("metrics", {})))
+    elif fmt == "otlp":
+        print(render_otlp_json(report))
+    else:
+        print(format_report(report))
     return 0
 
 
@@ -359,6 +381,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also render the store's telemetry.json run report")
     status.set_defaults(handler=_cmd_campaign_status)
 
+    watch = actions.add_parser(
+        "watch", parents=[logging_parent],
+        help="tail a running campaign's live progress stream",
+    )
+    watch.add_argument("--store", required=True, help="campaign store directory")
+    watch.add_argument("--once", action="store_true",
+                       help="render one snapshot and exit (0 = complete, no stalls)")
+    watch.add_argument("--json", action="store_true",
+                       help="machine-readable snapshots (one JSON object per render)")
+    watch.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between renders (default: 2)")
+    watch.add_argument("--stall-factor", type=float, default=5.0,
+                       help="flag a shard as stalled after this multiple of the "
+                            "median inter-event gap without a heartbeat (default: 5)")
+    watch.add_argument("--serve-metrics", type=int, default=None, metavar="PORT",
+                       help="also serve the live view as OpenMetrics on "
+                            "http://127.0.0.1:PORT/metrics (0 picks a free port)")
+    watch.set_defaults(handler=_cmd_campaign_watch)
+
     query = actions.add_parser("query", parents=[logging_parent],
                                help="filter/aggregate stored results")
     query.add_argument("--store", required=True, help="campaign store directory")
@@ -418,6 +459,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="render a store's telemetry.json run report",
     )
     telemetry_show.add_argument("store", help="campaign store directory")
+    telemetry_show.add_argument(
+        "--format", choices=("text", "prom", "otlp"), default="text",
+        help="rendering: human text, Prometheus/OpenMetrics exposition, "
+             "or OTLP/JSON spans (default: text)",
+    )
     telemetry_show.set_defaults(handler=_cmd_telemetry_show)
 
     telemetry_env = telemetry_actions.add_parser(

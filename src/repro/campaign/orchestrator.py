@@ -34,6 +34,8 @@ from repro.exceptions import ConfigurationError
 from repro.telemetry import metrics as _metrics
 from repro.telemetry.config import _STATE as _TELEMETRY, set_enabled
 from repro.telemetry.env import environment_info
+from repro.telemetry.export import write_prometheus
+from repro.telemetry.progress import ProgressWriter, ShardProgress, set_current
 from repro.telemetry.report import build_report, write_report
 from repro.telemetry.spans import drain_spans, span as _span
 
@@ -106,6 +108,7 @@ def _run_shard(
     batch_size: int | None,
     cache_dir: str | None,
     telemetry: bool = False,
+    progress_dir: str | None = None,
 ) -> tuple[int, list[ScenarioResult], dict]:
     """Worker entry point: run one shard's scenarios serially in-process.
 
@@ -119,7 +122,9 @@ def _run_shard(
     third element carries the worker's metrics delta for this shard
     (``"snapshot"``, a plain :meth:`~repro.telemetry.metrics.
     MetricsSnapshot.to_dict` payload) plus the shard's ``"wall_seconds"``;
-    otherwise it is empty.
+    otherwise it is empty.  ``progress_dir`` (telemetry only) points at the
+    store directory whose ``progress.ndjson`` this worker heartbeats into —
+    concurrent shard workers interleave safely via atomic appends.
     """
     if not telemetry:
         engine = ScenarioEngine(cache=cache_dir, n_workers=1, batch_size=batch_size)
@@ -128,8 +133,24 @@ def _run_shard(
     before = _metrics.snapshot()
     start = time.perf_counter()
     engine = ScenarioEngine(cache=cache_dir, n_workers=1, batch_size=batch_size)
-    with _span("campaign.shard", shard=shard_index, n_scenarios=len(specs)):
-        results = [engine.run(spec) for spec in specs]
+    writer = ProgressWriter(progress_dir) if progress_dir else None
+    progress = (
+        ShardProgress(writer, shard_index, len(specs)) if writer is not None else None
+    )
+    set_current(progress)
+    try:
+        with _span("campaign.shard", shard=shard_index, n_scenarios=len(specs)):
+            results = []
+            for spec in specs:
+                results.append(engine.run(spec))
+                if progress is not None:
+                    progress.scenario_done(spec.n_trials)
+        if progress is not None:
+            progress.finish()
+    finally:
+        set_current(None)
+        if writer is not None:
+            writer.close()
     info = {
         "snapshot": _metrics.snapshot().subtract(before).to_dict(),
         "wall_seconds": time.perf_counter() - start,
@@ -232,6 +253,8 @@ class CampaignOrchestrator:
             run_span.__enter__()
         plan = plan_campaign(definition)
         self._check_manifest(plan)
+        # Live progress stream (observability only; see telemetry.progress).
+        progress = ProgressWriter(self._store.directory) if instrumented else None
 
         completed = self._store.completed_hashes() & set(plan.items)
         skipped = tuple(h for h in plan.items if h in completed)
@@ -258,7 +281,21 @@ class CampaignOrchestrator:
             if shard_limit is not None:
                 pending = pending[: max(0, int(shard_limit))]
 
-            executed = self._execute_shards(plan, pending, completed, shard_wall)
+            if progress is not None:
+                progress.emit(
+                    "run_start",
+                    campaign=plan.definition.name,
+                    plan_hash=plan.plan_hash,
+                    n_items=plan.n_items,
+                    completed=len(completed),
+                    from_cache=len(from_cache),
+                    pending_shards=[shard.index for shard in pending],
+                    workers=self._n_workers,
+                    heartbeat_interval=progress.min_interval,
+                )
+            executed = self._execute_shards(
+                plan, pending, completed, shard_wall, progress
+            )
         finally:
             # Hand the writer lock back the moment the run ends (even on
             # failure), so another orchestrator — this process or another —
@@ -291,6 +328,21 @@ class CampaignOrchestrator:
                 extra={"plan_hash": plan.plan_hash, "campaign": plan.definition.name},
             )
             write_report(self._store.directory, telemetry)
+            # Same snapshot, standard exposition format (scrapeable/diffable).
+            write_prometheus(self._store.directory, delta)
+
+        if progress is not None:
+            progress.emit(
+                "run_done",
+                executed=len(executed),
+                from_cache=len(from_cache),
+                skipped=len(skipped),
+                elapsed_seconds=elapsed,
+                complete=(
+                    len(executed) + len(from_cache) + len(skipped) == plan.n_items
+                ),
+            )
+            progress.close()
 
         return CampaignReport(
             plan_hash=plan.plan_hash,
@@ -310,6 +362,7 @@ class CampaignOrchestrator:
         pending: Sequence[Shard],
         completed: set[str],
         shard_wall: dict[int, float],
+        progress: ProgressWriter | None = None,
     ) -> list[str]:
         """Run the pending shards, streaming results into the store.
 
@@ -332,19 +385,30 @@ class CampaignOrchestrator:
                     if instrumented
                     else None
                 )
+                todo = [h for h in shard.spec_hashes if h not in completed]
+                shard_progress = (
+                    ShardProgress(progress, shard.index, len(todo))
+                    if progress is not None
+                    else None
+                )
+                set_current(shard_progress)
                 shard_start = time.perf_counter()
                 if shard_span is not None:
                     shard_span.__enter__()
                 try:
-                    for spec_hash in shard.spec_hashes:
-                        if spec_hash in completed:
-                            continue  # spec-hash accounting within partial shards
-                        result = engine.run(plan.spec_for(spec_hash))
+                    for spec_hash in todo:
+                        spec = plan.spec_for(spec_hash)
+                        result = engine.run(spec)
                         self._store.append(result, shard=shard.index)
                         executed.append(spec_hash)
+                        if shard_progress is not None:
+                            shard_progress.scenario_done(spec.n_trials)
                 finally:
+                    set_current(None)
                     if shard_span is not None:
                         shard_span.__exit__(None, None, None)
+                if shard_progress is not None:
+                    shard_progress.finish()
                 if instrumented:
                     shard_wall[shard.index] = time.perf_counter() - shard_start
             return executed
@@ -355,10 +419,17 @@ class CampaignOrchestrator:
             ]
             for shard in pending
         }
+        progress_dir = str(self._store.directory) if progress is not None else None
         with ProcessPoolExecutor(max_workers=self._n_workers) as pool:
             futures = [
                 pool.submit(
-                    _run_shard, index, specs, self._batch_size, cache_dir, instrumented
+                    _run_shard,
+                    index,
+                    specs,
+                    self._batch_size,
+                    cache_dir,
+                    instrumented,
+                    progress_dir,
                 )
                 for index, specs in tasks.items()
                 if specs

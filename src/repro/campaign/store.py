@@ -129,6 +129,13 @@ class CampaignStore:
     def index_path(self) -> Path:
         return self._directory / INDEX_NAME
 
+    @property
+    def progress_path(self) -> Path:
+        """Where this store's live progress stream lives (may not exist)."""
+        from repro.telemetry.progress import progress_path
+
+        return progress_path(self._directory)
+
     def _open_index(self) -> sqlite3.Connection:
         """Connect to the index, discarding it if unreadable (it is derived
         data — the segments carry the truth)."""

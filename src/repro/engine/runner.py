@@ -39,6 +39,7 @@ from repro.engine.spec import ScenarioSpec
 from repro.engine.trial import run_trial, run_trial_instrumented
 from repro.exceptions import ConfigurationError
 from repro.telemetry import metrics as _metrics
+from repro.telemetry import progress as _progress
 from repro.telemetry.config import _STATE as _TELEMETRY
 from repro.telemetry.spans import span as _span
 
@@ -149,7 +150,16 @@ class ScenarioEngine:
         try:
             if batch_size is None or batch_size <= 1:
                 if workers <= 1:
-                    trials = [run_trial(spec, index) for index in range(spec.n_trials)]
+                    # Explicit loop (not a comprehension) so the progress
+                    # sink can heartbeat mid-scenario; a no-op without one.
+                    trials = []
+                    for index in range(spec.n_trials):
+                        trials.append(run_trial(spec, index))
+                        _progress.tick(
+                            scenario=spec.name,
+                            trial=index + 1,
+                            n_trials=spec.n_trials,
+                        )
                 elif instrumented:
                     # Workers run the instrumented wrapper, which forces the
                     # telemetry switch on worker-side and ships back a
@@ -172,7 +182,14 @@ class ScenarioEngine:
             else:
                 chunks = _chunk_indices(spec.n_trials, int(batch_size))
                 if workers <= 1:
-                    batches = [run_trial_batch(spec, chunk) for chunk in chunks]
+                    batches = []
+                    for chunk in chunks:
+                        batches.append(run_trial_batch(spec, chunk))
+                        _progress.tick(
+                            scenario=spec.name,
+                            trial=chunk[-1] + 1,
+                            n_trials=spec.n_trials,
+                        )
                 elif instrumented:
                     with ProcessPoolExecutor(max_workers=workers) as pool:
                         pairs = list(

@@ -86,3 +86,11 @@ class MTDDesignError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised when user-supplied configuration values are invalid."""
+
+
+class TelemetryError(ReproError):
+    """Raised when persisted telemetry artifacts are missing or unreadable.
+
+    Carries an actionable message (which store, what was expected, how to
+    produce it) so the CLI can print one line instead of a traceback.
+    """

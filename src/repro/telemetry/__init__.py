@@ -31,14 +31,25 @@ Quickstart
 """
 
 from repro.telemetry.config import (
+    ENV_PROGRESS_INTERVAL,
     ENV_SWITCH,
     disable,
     enable,
     enabled,
     enabled_scope,
+    progress_interval,
     set_enabled,
 )
 from repro.telemetry.env import environment_info, format_environment
+from repro.telemetry.export import (
+    METRICS_PROM_NAME,
+    metrics_prom_path,
+    otlp_spans_payload,
+    parse_openmetrics,
+    render_openmetrics,
+    validate_openmetrics,
+    write_prometheus,
+)
 from repro.telemetry.log import configure_logging, get_logger, log_event
 from repro.telemetry.metrics import (
     DEFAULT_SECONDS_BUCKETS,
@@ -53,11 +64,19 @@ from repro.telemetry.metrics import (
     snapshot,
     snapshot_and_reset,
 )
+from repro.telemetry.progress import (
+    PROGRESS_NAME,
+    ProgressWriter,
+    ShardProgress,
+    progress_path,
+    read_progress,
+)
 from repro.telemetry.report import (
     TELEMETRY_NAME,
     build_report,
     cache_rates,
     format_report,
+    load_report,
     read_report,
     telemetry_path,
     write_report,
@@ -110,6 +129,23 @@ __all__ = [
     "cache_rates",
     "format_report",
     "read_report",
+    "load_report",
     "telemetry_path",
     "write_report",
+    # progress stream
+    "ENV_PROGRESS_INTERVAL",
+    "progress_interval",
+    "PROGRESS_NAME",
+    "ProgressWriter",
+    "ShardProgress",
+    "progress_path",
+    "read_progress",
+    # exporters
+    "METRICS_PROM_NAME",
+    "metrics_prom_path",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "validate_openmetrics",
+    "write_prometheus",
+    "otlp_spans_payload",
 ]

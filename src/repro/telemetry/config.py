@@ -30,6 +30,15 @@ from typing import Iterator
 #: Environment variable that switches telemetry on for a whole process tree.
 ENV_SWITCH = "REPRO_TELEMETRY"
 
+#: Environment variable bounding the progress-stream heartbeat cadence
+#: (seconds between non-forced events; ``0`` emits every event).  Read per
+#: writer, so pool workers inherit it through the environment under any
+#: multiprocessing start method.
+ENV_PROGRESS_INTERVAL = "REPRO_PROGRESS_INTERVAL"
+
+#: Default minimum seconds between two heartbeats with the same key.
+DEFAULT_PROGRESS_INTERVAL = 1.0
+
 _TRUTHY = {"1", "true", "yes", "on", "enabled"}
 
 
@@ -82,11 +91,31 @@ def enabled_scope(on: bool = True) -> Iterator[None]:
         set_enabled(previous)
 
 
+def progress_interval() -> float:
+    """Minimum seconds between rate-limited progress heartbeats.
+
+    Controlled by ``REPRO_PROGRESS_INTERVAL``; invalid or negative values
+    fall back to :data:`DEFAULT_PROGRESS_INTERVAL`.  ``0`` disables rate
+    limiting (every event is written — tests and tight benchmarks).
+    """
+    raw = os.environ.get(ENV_PROGRESS_INTERVAL, "").strip()
+    if not raw:
+        return DEFAULT_PROGRESS_INTERVAL
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_PROGRESS_INTERVAL
+    return value if value >= 0.0 else DEFAULT_PROGRESS_INTERVAL
+
+
 __all__ = [
     "ENV_SWITCH",
+    "ENV_PROGRESS_INTERVAL",
+    "DEFAULT_PROGRESS_INTERVAL",
     "enabled",
     "set_enabled",
     "enable",
     "disable",
     "enabled_scope",
+    "progress_interval",
 ]

@@ -1,0 +1,572 @@
+"""Standard-format telemetry exporters (Prometheus/OpenMetrics, OTLP).
+
+Dependency-free renderers that turn the library's own telemetry types
+into the two wire formats the monitoring world speaks:
+
+* :func:`render_openmetrics` — any
+  :class:`~repro.telemetry.metrics.MetricsSnapshot` as OpenMetrics text
+  (the Prometheus exposition format): counters, gauges, and histograms
+  with their exact bucket boundaries.  :func:`parse_openmetrics` is its
+  inverse, so every counter/gauge/histogram round-trips — the property
+  the exporter tests pin.  ``campaign run --telemetry`` persists the
+  run's snapshot as ``metrics.prom`` next to ``telemetry.json``
+  (:func:`write_prometheus`), ``telemetry show --format prom`` renders a
+  stored report, and ``campaign watch --serve-metrics`` exposes a live
+  scrape endpoint.
+* :func:`otlp_spans_payload` — the span forest of a run report in the
+  OTLP/JSON shape (``resourceSpans → scopeSpans → spans`` with
+  hex trace/span ids and unix-nano timestamps), consumable by any
+  OpenTelemetry collector's JSON receiver.  Rendered by ``telemetry show
+  --format otlp``.
+
+Format contracts
+----------------
+Metric names are the registry's dotted names with unsafe characters
+mapped to ``_`` and a ``repro_`` prefix; the original dotted name is
+carried verbatim in the ``# HELP`` text, which is what makes the parse
+side exact.  Counters follow the OpenMetrics ``_total`` sample-suffix
+rule; histogram ``le`` labels are the registry's bucket boundaries with
+cumulative counts plus the mandated ``+Inf`` bucket.  Histogram
+``min``/``max`` have no OpenMetrics representation and do not round-trip
+(``None`` after parsing).  Output always ends with ``# EOF``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.telemetry.metrics import MetricsSnapshot, metric_key, split_metric_key
+
+#: File name of the persisted Prometheus rendering (next to telemetry.json).
+METRICS_PROM_NAME = "metrics.prom"
+
+#: Default prefix namespacing every exported metric family.
+PROM_PREFIX = "repro"
+
+#: Content type a scrape endpoint should serve OpenMetrics text under.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+_UNSAFE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_FAMILY_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<timestamp>\S+))?$"
+)
+_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:\\.|[^"\\])*)"')
+
+
+def prom_name(name: str, prefix: str = PROM_PREFIX) -> str:
+    """The exposition-safe family name of a dotted metric name."""
+    safe = _UNSAFE_RE.sub("_", name)
+    return f"{prefix}_{safe}" if prefix else safe
+
+
+def _escape_label_value(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _format_number(value: Any) -> str:
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    number = float(value)
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    return repr(number)
+
+
+def _parse_number(text: str) -> float:
+    lowered = text.strip()
+    if lowered == "+Inf":
+        return math.inf
+    if lowered == "-Inf":
+        return -math.inf
+    if lowered == "NaN":
+        return math.nan
+    return float(lowered)
+
+
+def _label_text(labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(labels[key])}"' for key in sorted(labels)
+    )
+    return "{" + body + "}"
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics rendering
+# ----------------------------------------------------------------------
+def render_openmetrics(
+    snapshot: MetricsSnapshot | Mapping[str, Any], prefix: str = PROM_PREFIX
+) -> str:
+    """OpenMetrics text rendering of a metrics snapshot.
+
+    Families are emitted in sorted original-name order, each with a
+    ``# HELP`` line carrying the original dotted name (the round-trip
+    anchor) and a ``# TYPE`` line; the output terminates with ``# EOF``.
+    """
+    if not isinstance(snapshot, MetricsSnapshot):
+        snapshot = MetricsSnapshot.from_dict(snapshot)
+
+    # family original name -> (type, {labels_key: (labels, payload)})
+    families: dict[str, dict[str, Any]] = {}
+
+    def family(name: str, kind: str) -> dict[str, Any]:
+        entry = families.setdefault(name, {"type": kind, "series": []})
+        if entry["type"] != kind:
+            raise ValueError(
+                f"metric {name!r} exported as both {entry['type']} and {kind}"
+            )
+        return entry
+
+    for key, value in snapshot.counters.items():
+        name, labels = split_metric_key(key)
+        family(name, "counter")["series"].append((labels, value))
+    for key, value in snapshot.gauges.items():
+        name, labels = split_metric_key(key)
+        family(name, "gauge")["series"].append((labels, value))
+    for key, payload in snapshot.histograms.items():
+        name, labels = split_metric_key(key)
+        family(name, "histogram")["series"].append((labels, payload))
+
+    seen_family_names: dict[str, str] = {}
+    lines: list[str] = []
+    for original in sorted(families):
+        entry = families[original]
+        fam = prom_name(original, prefix)
+        clash = seen_family_names.get(fam)
+        if clash is not None and clash != original:
+            raise ValueError(
+                f"metric names {clash!r} and {original!r} both export as {fam!r}"
+            )
+        seen_family_names[fam] = original
+        lines.append(f"# HELP {fam} {original}")
+        lines.append(f"# TYPE {fam} {entry['type']}")
+        for labels, value in sorted(entry["series"], key=lambda s: sorted(s[0].items())):
+            if entry["type"] == "counter":
+                lines.append(f"{fam}_total{_label_text(labels)} {_format_number(value)}")
+            elif entry["type"] == "gauge":
+                lines.append(f"{fam}{_label_text(labels)} {_format_number(value)}")
+            else:
+                boundaries = [float(b) for b in value["boundaries"]]
+                counts = [int(c) for c in value["bucket_counts"]]
+                cumulative = 0
+                for boundary, count in zip(boundaries, counts):
+                    cumulative += count
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_number(boundary)
+                    lines.append(
+                        f"{fam}_bucket{_label_text(bucket_labels)} {cumulative}"
+                    )
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = "+Inf"
+                lines.append(
+                    f"{fam}_bucket{_label_text(bucket_labels)} {int(value['count'])}"
+                )
+                lines.append(
+                    f"{fam}_sum{_label_text(labels)} {_format_number(float(value['sum']))}"
+                )
+                lines.append(f"{fam}_count{_label_text(labels)} {int(value['count'])}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(text: str | None) -> dict[str, str]:
+    if not text:
+        return {}
+    return {
+        match.group("key"): _unescape_label_value(match.group("value"))
+        for match in _LABEL_RE.finditer(text)
+    }
+
+
+def parse_openmetrics(text: str) -> MetricsSnapshot:
+    """Rebuild a :class:`MetricsSnapshot` from :func:`render_openmetrics` text.
+
+    Counters and gauges round-trip exactly; histograms recover their
+    boundaries, per-bucket counts, sum and count (``min``/``max`` are not
+    representable in the format and come back ``None``).
+    """
+    kinds: dict[str, str] = {}  # family exposition name -> type
+    originals: dict[str, str] = {}  # family exposition name -> dotted name
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    buckets: dict[str, dict[float, int]] = {}
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+
+    def family_of(sample: str) -> tuple[str, str] | None:
+        """(family, role) of a sample name, honoring declared types."""
+        if sample in kinds:
+            return sample, "value"
+        for suffix, role in (("_total", "total"), ("_bucket", "bucket"),
+                             ("_sum", "sum"), ("_count", "count")):
+            if sample.endswith(suffix) and sample[: -len(suffix)] in kinds:
+                return sample[: -len(suffix)], role
+        return None
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            fam, _, help_text = rest.partition(" ")
+            originals[fam] = help_text.strip()
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            fam, _, kind = rest.partition(" ")
+            kinds[fam] = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable OpenMetrics sample: {line!r}")
+        resolved = family_of(match.group("name"))
+        if resolved is None:
+            raise ValueError(f"sample {match.group('name')!r} has no # TYPE family")
+        fam, role = resolved
+        labels = _parse_labels(match.group("labels"))
+        original = originals.get(fam, fam)
+        kind = kinds[fam]
+        if kind == "counter" and role == "total":
+            counters[metric_key(original, labels)] = int(_parse_number(match.group("value")))
+        elif kind == "gauge" and role == "value":
+            gauges[metric_key(original, labels)] = _parse_number(match.group("value"))
+        elif kind == "histogram":
+            le = labels.pop("le", None)
+            key = metric_key(original, labels)
+            if role == "bucket":
+                if le is None:
+                    raise ValueError(f"histogram bucket without le label: {line!r}")
+                buckets.setdefault(key, {})[_parse_number(le)] = int(
+                    _parse_number(match.group("value"))
+                )
+            elif role == "sum":
+                sums[key] = _parse_number(match.group("value"))
+            elif role == "count":
+                counts[key] = int(_parse_number(match.group("value")))
+
+    histograms: dict[str, dict[str, Any]] = {}
+    for key, series in buckets.items():
+        boundaries = sorted(b for b in series if not math.isinf(b))
+        cumulative = [series[b] for b in boundaries]
+        total = counts.get(key, series.get(math.inf, 0))
+        per_bucket = [
+            c - (cumulative[i - 1] if i else 0) for i, c in enumerate(cumulative)
+        ]
+        overflow = total - (cumulative[-1] if cumulative else 0)
+        histograms[key] = {
+            "boundaries": boundaries,
+            "bucket_counts": per_bucket + [overflow],
+            "sum": sums.get(key, 0.0),
+            "count": total,
+            "min": None,
+            "max": None,
+        }
+    return MetricsSnapshot(counters=counters, gauges=gauges, histograms=histograms)
+
+
+def validate_openmetrics(text: str) -> list[str]:
+    """Minimal OpenMetrics syntax check; returns a list of problems.
+
+    Checks the structural contract a scraper relies on: every sample line
+    parses, every sample belongs to a ``# TYPE``-declared family, counter
+    samples carry the ``_total`` suffix and are finite and non-negative,
+    histogram buckets are cumulative with a ``+Inf`` bucket equal to
+    ``_count``, and the exposition ends with ``# EOF``.
+    """
+    errors: list[str] = []
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines or lines[-1].strip() != "# EOF":
+        errors.append("exposition does not end with # EOF")
+    kinds: dict[str, str] = {}
+    bucket_state: dict[str, tuple[float, int]] = {}  # series key -> (last le, last cum)
+    inf_buckets: dict[str, int] = {}
+    count_samples: dict[str, int] = {}
+
+    for number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            fam, _, kind = rest.partition(" ")
+            kind = kind.strip()
+            if not _FAMILY_NAME_RE.match(fam):
+                errors.append(f"line {number}: invalid family name {fam!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary", "unknown",
+                            "info", "stateset", "gaugehistogram"):
+                errors.append(f"line {number}: unknown metric type {kind!r}")
+            kinds[fam] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"line {number}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        fam = None
+        role = "value"
+        if name in kinds:
+            fam = name
+        else:
+            for suffix, suffix_role in (("_total", "total"), ("_bucket", "bucket"),
+                                        ("_sum", "sum"), ("_count", "count"),
+                                        ("_created", "created")):
+                if name.endswith(suffix) and name[: -len(suffix)] in kinds:
+                    fam, role = name[: -len(suffix)], suffix_role
+                    break
+        if fam is None:
+            errors.append(f"line {number}: sample {name!r} has no # TYPE family")
+            continue
+        try:
+            value = _parse_number(match.group("value"))
+        except ValueError:
+            errors.append(f"line {number}: unparseable value {match.group('value')!r}")
+            continue
+        kind = kinds[fam]
+        if kind == "counter":
+            if role != "total" and role != "created":
+                errors.append(
+                    f"line {number}: counter sample {name!r} must use _total"
+                )
+            if value < 0 or math.isnan(value):
+                errors.append(f"line {number}: counter value {value} is invalid")
+        if kind == "histogram" and role == "bucket":
+            labels = _parse_labels(match.group("labels"))
+            le = labels.pop("le", None)
+            if le is None:
+                errors.append(f"line {number}: histogram bucket without le label")
+                continue
+            series = fam + _label_text(labels)
+            boundary = _parse_number(le)
+            cumulative = int(value)
+            previous = bucket_state.get(series)
+            if previous is not None:
+                last_le, last_cum = previous
+                if boundary <= last_le:
+                    errors.append(
+                        f"line {number}: bucket le={le} not increasing for {series}"
+                    )
+                if cumulative < last_cum:
+                    errors.append(
+                        f"line {number}: bucket counts not cumulative for {series}"
+                    )
+            bucket_state[series] = (boundary, cumulative)
+            if math.isinf(boundary):
+                inf_buckets[series] = cumulative
+        if kind == "histogram" and role == "count":
+            labels = _parse_labels(match.group("labels"))
+            count_samples[fam + _label_text(labels)] = int(value)
+
+    for series, total in count_samples.items():
+        if series not in inf_buckets:
+            errors.append(f"histogram {series} has no le=\"+Inf\" bucket")
+        elif inf_buckets[series] != total:
+            errors.append(
+                f"histogram {series}: +Inf bucket {inf_buckets[series]} != "
+                f"count {total}"
+            )
+    return errors
+
+
+def check_openmetrics(text: str) -> None:
+    """Raise ``ValueError`` listing every problem found by the validator."""
+    errors = validate_openmetrics(text)
+    if errors:
+        raise ValueError("invalid OpenMetrics exposition:\n" + "\n".join(errors))
+
+
+def metrics_prom_path(directory: str | Path) -> Path:
+    """Where a store directory's Prometheus rendering lives."""
+    return Path(directory) / METRICS_PROM_NAME
+
+
+def write_prometheus(
+    directory: str | Path, snapshot: MetricsSnapshot | Mapping[str, Any]
+) -> Path:
+    """Atomically persist ``metrics.prom`` in a store directory."""
+    path = metrics_prom_path(directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = render_openmetrics(snapshot)
+    fd, tmp = tempfile.mkstemp(prefix=".metrics-", suffix=".tmp", dir=path.parent)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+# ----------------------------------------------------------------------
+# OTLP span export
+# ----------------------------------------------------------------------
+def _otlp_value(value: Any) -> dict[str, Any]:
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def _otlp_attributes(attributes: Mapping[str, Any]) -> list[dict[str, Any]]:
+    return [
+        {"key": str(key), "value": _otlp_value(attributes[key])}
+        for key in attributes
+    ]
+
+
+def _hex_id(seed: str, n_chars: int) -> str:
+    return hashlib.sha256(seed.encode("utf-8")).hexdigest()[:n_chars]
+
+
+def _flatten_span(
+    record: Mapping[str, Any],
+    path: str,
+    trace_id: str,
+    parent_id: str,
+    default_start: float,
+    out: list[dict[str, Any]],
+) -> None:
+    wall = float(record.get("wall_seconds", 0.0))
+    start = record.get("start_unix")
+    start = float(start) if start else default_start
+    end = start + wall
+    span_id = _hex_id(trace_id + path, 16)
+    attributes = dict(record.get("attributes") or {})
+    attributes["cpu_seconds"] = float(record.get("cpu_seconds", 0.0))
+    out.append(
+        {
+            "traceId": trace_id,
+            "spanId": span_id,
+            "parentSpanId": parent_id,
+            "name": str(record.get("name", "?")),
+            "kind": 1,  # SPAN_KIND_INTERNAL
+            "startTimeUnixNano": str(int(round(start * 1e9))),
+            "endTimeUnixNano": str(int(round(end * 1e9))),
+            "attributes": _otlp_attributes(attributes),
+        }
+    )
+    # Children without their own epoch stamps are laid out sequentially
+    # from the parent's start (old reports predating start_unix).
+    cursor = start
+    for index, child in enumerate(record.get("children", ())):
+        _flatten_span(
+            child, f"{path}/{index}", trace_id, span_id, cursor, out
+        )
+        cursor += float(child.get("wall_seconds", 0.0))
+
+
+def otlp_spans_payload(
+    spans: Iterable[Mapping[str, Any]],
+    resource: Mapping[str, Any] | None = None,
+    end_unix: float | None = None,
+) -> dict[str, Any]:
+    """The span forest as an OTLP/JSON ``ExportTraceServiceRequest`` body.
+
+    Each root span becomes its own trace; ids are deterministic hashes of
+    the tree position, so the same report always exports the same ids.
+    Spans recorded with ``start_unix`` keep their real timeline; older
+    records are laid out synthetically ending at ``end_unix``.
+    """
+    try:
+        from repro import __version__ as _version
+    except Exception:  # pragma: no cover - partial installs
+        _version = None
+    resource_attributes = {"service.name": "repro"}
+    if _version:
+        resource_attributes["service.version"] = _version
+    for key, value in (resource or {}).items():
+        resource_attributes.setdefault(str(key), value)
+
+    flat: list[dict[str, Any]] = []
+    for index, record in enumerate(spans):
+        trace_id = _hex_id(f"trace/{index}/{record.get('name', '?')}", 32)
+        wall = float(record.get("wall_seconds", 0.0))
+        if record.get("start_unix"):
+            default_start = float(record["start_unix"])
+        elif end_unix is not None:
+            default_start = float(end_unix) - wall
+        else:
+            default_start = 0.0
+        _flatten_span(record, f"span/{index}", trace_id, "", default_start, flat)
+
+    return {
+        "resourceSpans": [
+            {
+                "resource": {"attributes": _otlp_attributes(resource_attributes)},
+                "scopeSpans": [
+                    {
+                        "scope": {"name": "repro.telemetry"},
+                        "spans": flat,
+                    }
+                ],
+            }
+        ]
+    }
+
+
+def otlp_from_report(report: Mapping[str, Any]) -> dict[str, Any]:
+    """OTLP payload of a persisted run report (``telemetry.json``)."""
+    return otlp_spans_payload(
+        report.get("spans") or (),
+        resource=report.get("environment") or {},
+        end_unix=report.get("created_unix"),
+    )
+
+
+def render_otlp_json(report: Mapping[str, Any], indent: int | None = 1) -> str:
+    """JSON text of :func:`otlp_from_report` (CLI convenience)."""
+    return json.dumps(otlp_from_report(report), indent=indent, sort_keys=False)
+
+
+__all__ = [
+    "METRICS_PROM_NAME",
+    "PROM_PREFIX",
+    "OPENMETRICS_CONTENT_TYPE",
+    "prom_name",
+    "render_openmetrics",
+    "parse_openmetrics",
+    "validate_openmetrics",
+    "check_openmetrics",
+    "metrics_prom_path",
+    "write_prometheus",
+    "otlp_spans_payload",
+    "otlp_from_report",
+    "render_otlp_json",
+]

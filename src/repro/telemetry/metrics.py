@@ -51,6 +51,31 @@ def metric_key(name: str, labels: Mapping[str, Any] | None = None) -> str:
     return f"{name}{{{folded}}}"
 
 
+def split_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """The inverse of :func:`metric_key`: ``(name, labels)`` of a key.
+
+    The exporters use this to turn folded registry keys back into label
+    sets (``"span.seconds{span=engine.trial}"`` →
+    ``("span.seconds", {"span": "engine.trial"})``).  Label values
+    containing ``,`` or ``=`` are not representable in the folded form to
+    begin with, so the split is exact for every key the registry makes.
+    """
+    name, brace, rest = key.partition("{")
+    if not brace:
+        return key, {}
+    if not rest.endswith("}"):
+        raise ValueError(f"malformed metric key: {key!r}")
+    labels: dict[str, str] = {}
+    body = rest[:-1]
+    if body:
+        for part in body.split(","):
+            label, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError(f"malformed metric key label: {key!r}")
+            labels[label] = value
+    return name, labels
+
+
 class _Histogram:
     """Mutable fixed-boundary histogram accumulator."""
 
@@ -358,6 +383,7 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "metric_key",
+    "split_metric_key",
     "registry",
     "counter",
     "gauge",

@@ -1,0 +1,336 @@
+"""Live progress event stream (``progress.ndjson``).
+
+While a campaign runs, the orchestrator and its shard workers append
+compact heartbeat/progress records to ``progress.ndjson`` next to the
+store manifest, so long-running sweeps stop being a black box: ``repro
+campaign watch`` tails the stream and renders per-shard throughput,
+completion and stall state while the run is still going.
+
+The stream follows the same crash-safety discipline as the store's
+segments:
+
+* every record is one JSON line, appended with ``O_APPEND``, flushed and
+  fsync'd before the writer continues — a record is either durably whole
+  or absent;
+* readers (:func:`read_progress`) ignore a torn final line and skip
+  corrupt lines, so a ``kill -9`` mid-write never breaks the watchers;
+* multiple writers (the orchestrator plus one process per shard) share
+  the file via atomic appends; every writer stamps its ``pid`` and a
+  per-writer monotonic ``seq``, so ``(pid, seq)`` identifies a record and
+  gaps are detectable.
+
+The stream is **observability-only** and off unless telemetry is on
+(``--telemetry`` / ``REPRO_TELEMETRY``): stored campaign records are
+bit-identical with the stream enabled or disabled.  Event volume is
+bounded by rate limiting, not workload size: heartbeats are dropped
+unless :func:`repro.telemetry.config.progress_interval` seconds have
+passed since the last one with the same key, so a stream grows at
+O(shards × runtime / heartbeat interval) — never O(trials).
+
+Event kinds
+-----------
+``run_start``/``run_done``
+    One per orchestrator invocation: plan hash, item totals, and the
+    skip/ingest/execute partition (``run_done``).
+``shard_start``/``shard_done``
+    One pair per executed shard, carrying final ``done``/``total``
+    scenario counts and wall/CPU seconds.
+``heartbeat``
+    Rate-limited liveness + throughput: cumulative scenarios ``done``,
+    ``trials_done``, ``trials_per_sec``, ``cache_hits``, wall/CPU time,
+    and optional phase detail (current scenario/trial, or the
+    time-series ``hour``).
+"""
+
+from __future__ import annotations
+
+import os
+import json
+import time
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.config import progress_interval
+
+#: File name of the progress stream (lives next to ``campaign.json``).
+PROGRESS_NAME = "progress.ndjson"
+
+#: Schema version stamped into every event.
+PROGRESS_SCHEMA_VERSION = 1
+
+#: Event kinds that are never rate-limited.
+FORCED_KINDS = frozenset({"run_start", "run_done", "shard_start", "shard_done"})
+
+
+def progress_path(directory: str | Path) -> Path:
+    """Where a store directory's progress stream lives."""
+    return Path(directory) / PROGRESS_NAME
+
+
+class ProgressWriter:
+    """Appends fsync'd progress events to one ``progress.ndjson``.
+
+    Parameters
+    ----------
+    path:
+        The stream file (or a store directory containing it).
+    min_interval:
+        Minimum seconds between two non-forced events with the same
+        rate-limit key; defaults to
+        :func:`repro.telemetry.config.progress_interval` (settable via
+        ``REPRO_PROGRESS_INTERVAL``; ``0`` emits everything).
+    context:
+        Default fields folded into every event (e.g. ``shard=3``).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        min_interval: float | None = None,
+        **context: Any,
+    ) -> None:
+        target = Path(path)
+        if target.is_dir():
+            target = progress_path(target)
+        self._path = target
+        self._min_interval = (
+            progress_interval() if min_interval is None else max(0.0, float(min_interval))
+        )
+        self._context = dict(context)
+        self._handle = None
+        self._seq = 0
+        self._pid = os.getpid()
+        self._last_emit: dict[Any, float] = {}
+
+    @property
+    def path(self) -> Path:
+        """The stream file this writer appends to."""
+        return self._path
+
+    @property
+    def min_interval(self) -> float:
+        """Seconds between non-forced events with the same key."""
+        return self._min_interval
+
+    def bind(self, **context: Any) -> None:
+        """Fold extra default fields into every subsequent event."""
+        self._context.update(context)
+
+    # ------------------------------------------------------------------
+    def ready(self, kind: str, key: Any = None) -> bool:
+        """Whether a non-forced ``kind`` event would be emitted right now.
+
+        Callers with expensive payloads (metrics snapshots) check this
+        first so a rate-limited heartbeat costs one clock read.
+        """
+        if kind in FORCED_KINDS or self._min_interval <= 0.0:
+            return True
+        last = self._last_emit.get((kind, key))
+        return last is None or (time.monotonic() - last) >= self._min_interval
+
+    def emit(
+        self, kind: str, force: bool | None = None, key: Any = None, **fields: Any
+    ) -> dict[str, Any] | None:
+        """Append one event; returns the record, or ``None`` if rate-limited.
+
+        ``force`` overrides rate limiting (events in :data:`FORCED_KINDS`
+        are always forced); ``key`` scopes the rate limit (e.g. per
+        shard).  The record is durable when this returns.
+        """
+        forced = kind in FORCED_KINDS if force is None else bool(force)
+        if not forced and not self.ready(kind, key):
+            return None
+        self._last_emit[(kind, key)] = time.monotonic()
+        self._seq += 1
+        record: dict[str, Any] = {
+            "v": PROGRESS_SCHEMA_VERSION,
+            "kind": kind,
+            "seq": self._seq,
+            "pid": self._pid,
+            "ts": time.time(),
+        }
+        record.update(self._context)
+        record.update(fields)
+        line = (json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n").encode(
+            "utf-8"
+        )
+        handle = self._handle
+        if handle is None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            handle = self._handle = self._path.open("ab")
+        # One write() call per record: O_APPEND makes concurrent writers
+        # interleave at line granularity, never mid-line.
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())
+        return record
+
+    def close(self) -> None:
+        """Flush and close the stream handle (the file itself persists)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ProgressWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class ShardProgress:
+    """Per-shard progress accounting bound to one :class:`ProgressWriter`.
+
+    Emits ``shard_start`` on construction and ``shard_done`` from
+    :meth:`finish`; in between, :meth:`scenario_done` and :meth:`tick`
+    emit rate-limited heartbeats carrying cumulative counts, sliding
+    throughput, cache hits and wall/CPU time.  Install as the process's
+    current sink with :func:`set_current` so deep instrumentation
+    (engine trial loops, the time-series hour loop) can tick without
+    threading a writer through every call signature.
+    """
+
+    def __init__(self, writer: ProgressWriter, shard: int, total: int) -> None:
+        self._writer = writer
+        self._shard = int(shard)
+        self._total = int(total)
+        self._done = 0
+        self._trials_done = 0
+        self._wall_start = time.perf_counter()
+        self._cpu_start = time.process_time()
+        self._cache_hits_start = self._cache_hits_now()
+        writer.emit("shard_start", shard=self._shard, done=0, total=self._total)
+
+    @staticmethod
+    def _cache_hits_now() -> int:
+        counters = _metrics.registry().snapshot().counters
+        return sum(
+            value
+            for key, value in counters.items()
+            if key.startswith("cache.") and key.endswith(".hits")
+        )
+
+    def _payload(self) -> dict[str, Any]:
+        wall = time.perf_counter() - self._wall_start
+        return {
+            "shard": self._shard,
+            "done": self._done,
+            "total": self._total,
+            "trials_done": self._trials_done,
+            "trials_per_sec": (self._trials_done / wall) if wall > 0 else 0.0,
+            "cache_hits": self._cache_hits_now() - self._cache_hits_start,
+            "wall_seconds": wall,
+            "cpu_seconds": time.process_time() - self._cpu_start,
+        }
+
+    # ------------------------------------------------------------------
+    def tick(self, **fields: Any) -> None:
+        """Rate-limited liveness heartbeat from inside a scenario."""
+        if not self._writer.ready("heartbeat", self._shard):
+            return
+        self._writer.emit(
+            "heartbeat", force=True, key=self._shard, **self._payload(), **fields
+        )
+
+    def scenario_done(self, n_trials: int = 0) -> None:
+        """Record one completed scenario (rate-limited heartbeat)."""
+        self._done += 1
+        self._trials_done += int(n_trials)
+        self.tick()
+
+    def finish(self) -> None:
+        """Emit the forced ``shard_done`` event with final counts."""
+        self._writer.emit("shard_done", **self._payload())
+
+
+#: The process's current shard sink; ``None`` while no shard is running
+#: (the common case — :func:`tick` then costs one read and one compare).
+_CURRENT: ShardProgress | None = None
+
+
+def set_current(progress: ShardProgress | None) -> None:
+    """Install (or clear) the process-wide shard progress sink."""
+    global _CURRENT
+    _CURRENT = progress
+
+
+def current() -> ShardProgress | None:
+    """The installed shard sink, or ``None``."""
+    return _CURRENT
+
+
+def tick(**fields: Any) -> None:
+    """Heartbeat through the installed sink; no-op when none is installed.
+
+    This is the hook the engine's trial loops and the time-series hour
+    loop call: one global read when idle, a rate-limited fsync'd append
+    when a campaign is being watched.
+    """
+    progress = _CURRENT
+    if progress is not None:
+        progress.tick(**fields)
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+def parse_progress_lines(lines: Iterable[bytes]) -> list[dict[str, Any]]:
+    """Parse raw stream lines, skipping corrupt ones and a torn tail."""
+    events: list[dict[str, Any]] = []
+    for line in lines:
+        if not line.endswith(b"\n"):
+            break  # torn tail: the writer died mid-append
+        try:
+            record = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            continue
+        if isinstance(record, dict) and "kind" in record and "ts" in record:
+            events.append(record)
+    return events
+
+
+def read_progress(directory_or_path: str | Path, offset: int = 0) -> list[dict[str, Any]]:
+    """Events of a store's progress stream (tolerant of crashes).
+
+    ``offset`` skips bytes already consumed (tail-follow reads); a
+    missing file yields an empty list.  Events are returned in file
+    order, which interleaves concurrent writers in append order.
+    """
+    path = Path(directory_or_path)
+    if path.is_dir():
+        path = progress_path(path)
+    try:
+        with path.open("rb") as handle:
+            if offset:
+                handle.seek(offset)
+            return parse_progress_lines(handle)
+    except OSError:
+        return []
+
+
+def stream_size(directory_or_path: str | Path) -> int:
+    """Current byte size of the stream (0 when absent) — follow cursor."""
+    path = Path(directory_or_path)
+    if path.is_dir():
+        path = progress_path(path)
+    try:
+        return path.stat().st_size
+    except OSError:
+        return 0
+
+
+__all__ = [
+    "PROGRESS_NAME",
+    "PROGRESS_SCHEMA_VERSION",
+    "FORCED_KINDS",
+    "progress_path",
+    "ProgressWriter",
+    "ShardProgress",
+    "set_current",
+    "current",
+    "tick",
+    "parse_progress_lines",
+    "read_progress",
+    "stream_size",
+]

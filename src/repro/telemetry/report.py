@@ -131,6 +131,48 @@ def read_report(directory: str | Path) -> dict[str, Any] | None:
     return payload if isinstance(payload, dict) else None
 
 
+def load_report(directory: str | Path) -> dict[str, Any]:
+    """Load a store's run report, or raise an actionable :class:`TelemetryError`.
+
+    The CLI-facing sibling of :func:`read_report`: instead of collapsing
+    every failure to ``None``, the error message says which store was
+    inspected, what was expected there, and what went wrong — a missing
+    file (telemetry was never on), unreadable bytes, truncated/invalid
+    JSON, or a JSON document that is not a report object.
+    """
+    from repro.exceptions import TelemetryError
+
+    path = telemetry_path(directory)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        raise TelemetryError(
+            f"no telemetry report at {path} — expected the {TELEMETRY_NAME} "
+            f"written by an instrumented run; re-run the campaign against "
+            f"{Path(directory)} with --telemetry (or REPRO_TELEMETRY=1)"
+        ) from None
+    except OSError as error:
+        raise TelemetryError(
+            f"telemetry report at {path} is unreadable ({error}); re-run the "
+            "campaign with --telemetry to rewrite it"
+        ) from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        detail = "is empty" if not text.strip() else f"is not valid JSON ({error})"
+        raise TelemetryError(
+            f"telemetry report at {path} {detail} — likely truncated by a "
+            "crash; re-run the campaign with --telemetry to rewrite it"
+        ) from None
+    if not isinstance(payload, dict):
+        raise TelemetryError(
+            f"telemetry report at {path} holds a JSON "
+            f"{type(payload).__name__}, not a report object; re-run the "
+            "campaign with --telemetry to rewrite it"
+        )
+    return payload
+
+
 def _format_span(record: Mapping[str, Any], indent: int, lines: list[str]) -> None:
     pad = "  " * indent
     attrs = record.get("attributes") or {}
@@ -209,5 +251,6 @@ __all__ = [
     "telemetry_path",
     "write_report",
     "read_report",
+    "load_report",
     "format_report",
 ]

@@ -74,6 +74,7 @@ class Span:
         "children",
         "wall_seconds",
         "cpu_seconds",
+        "start_unix",
         "_wall_start",
         "_cpu_start",
     )
@@ -84,6 +85,7 @@ class Span:
         self.children: list[dict[str, Any]] = []
         self.wall_seconds = 0.0
         self.cpu_seconds = 0.0
+        self.start_unix = 0.0
         self._wall_start = 0.0
         self._cpu_start = 0.0
 
@@ -97,6 +99,9 @@ class Span:
             "name": self.name,
             "wall_seconds": self.wall_seconds,
             "cpu_seconds": self.cpu_seconds,
+            # Wall-clock epoch start: lets the OTLP exporter place spans
+            # on a real timeline instead of synthesizing one.
+            "start_unix": self.start_unix,
         }
         if self.attributes:
             record["attributes"] = dict(self.attributes)
@@ -107,6 +112,7 @@ class Span:
     # ------------------------------------------------------------------
     def __enter__(self) -> "Span":
         _COLLECTOR.stack.append(self)
+        self.start_unix = time.time()
         self._cpu_start = time.process_time()
         self._wall_start = time.perf_counter()
         return self

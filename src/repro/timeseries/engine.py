@@ -61,6 +61,7 @@ from repro.opf.dc_opf import solve_dc_opf
 from repro.opf.reactance_opf import solve_reactance_opf
 from repro.opf.result import OPFResult
 from repro.telemetry import metrics as _metrics
+from repro.telemetry import progress as _progress
 from repro.telemetry.config import _STATE as _TELEMETRY
 from repro.telemetry.spans import span as _span
 from repro.timeseries.results import OperationResult
@@ -470,7 +471,10 @@ def run_operation_trial(
     if _TELEMETRY.enabled:
         with _span("timeseries.hour", hour=hour):
             _metrics.counter("timeseries.hours")
-            return _operate_hour(spec, network, hours[hour], evaluator, model_cache)
+            result = _operate_hour(spec, network, hours[hour], evaluator, model_cache)
+        # Hour-granular liveness for long horizons (no-op without a sink).
+        _progress.tick(hour=hour, n_hours=len(hours))
+        return result
     return _operate_hour(spec, network, hours[hour], evaluator, model_cache)
 
 
