@@ -32,6 +32,26 @@ against the most recent *earlier* history entry of the same (name, scale)
 and fails on any regression worse than 20 % (``--threshold`` to adjust);
 the direction of "worse" is metric-aware (seconds/ratios should fall,
 speedups/throughput should rise).
+
+``--compare`` usage notes
+-------------------------
+* **Local, after rerunning a benchmark**: ``python
+  scripts/check_bench_manifest.py --compare`` diffs the fresh BENCH record
+  against its own committed history — run it *before* committing the new
+  record to see whether the change is a regression or an improvement.
+* **Against a scratch emission dir** (the CI docs job does this with
+  ``REPRO_BENCH_OUT``): ``--compare --bench-dir "$RUNNER_TEMP/bench"``
+  compares just-emitted smoke records against the timeline shipped in the
+  checkout, catching regressions without touching the committed files.
+* **Tuning sensitivity**: noisy shared runners may need ``--threshold
+  0.35``; sub-20 % drifts are visible in the printed per-record deltas even
+  when the check passes, so eyeball the output before raising the bar.
+* **Greppable CI trail**: each compared record prints one
+  ``ok/new/FAIL BENCH_<name>.json: <metric> old -> new (±x%)`` line, and
+  the ``static-analysis`` job
+  uploads ``lint-report.json`` (``repro lint --json``) as an artifact —
+  together a CI run's perf and contract regressions are one ``grep`` away
+  from the logs/artifacts, no local reproduction needed.
 """
 
 from __future__ import annotations

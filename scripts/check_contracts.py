@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""CI gate for the static-analysis contracts: ``repro lint`` + mypy.
+
+Runs the two mechanical checks that protect the reproduction's
+determinism/crash-safety invariants:
+
+1. ``repro lint src/repro --baseline`` — the AST-based contract checker
+   (:mod:`repro.analysis.lint`): RNG stream discipline, wall-clock hygiene,
+   ordering determinism, spec-hash field coverage, frozen-mutation scope
+   and durable-write discipline, filtered through the committed
+   ``.repro-lint-baseline.json``.
+2. ``python -m mypy`` — the type-checking gate configured in
+   ``pyproject.toml`` (strict on the spec/metrics/utils modules, permissive
+   elsewhere).  Skipped with a notice when mypy is not installed (the
+   container ships without it; CI installs it), unless ``--require-mypy``.
+
+Run from the repository root (CI does)::
+
+    python scripts/check_contracts.py [--json-out lint-report.json]
+
+``--json-out`` additionally writes the machine-readable lint report (the
+same payload as ``repro lint --json``) so CI can upload it as an artifact
+and regressions stay greppable from CI logs.
+
+Exit status: 0 when every enabled check passes, 1 on lint findings or mypy
+errors, 2 on infrastructure failures (missing baseline, unparseable file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.analysis.lint import lint_paths, load_baseline  # noqa: E402
+from repro.analysis.lint.reporters import render_json, render_text  # noqa: E402
+from repro.exceptions import ReproError  # noqa: E402
+
+
+def run_lint(json_out: Path | None) -> int:
+    """Run the contract linter against the committed baseline."""
+    result = lint_paths([SRC / "repro"])
+    try:
+        baseline = load_baseline(ROOT / ".repro-lint-baseline.json")
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    stale = baseline.stale_entries(result.findings)
+    baseline.apply(result)
+    for entry in stale:
+        result.errors.append(
+            f"stale baseline entry (no matching finding): [{entry.rule}] "
+            f"{entry.module} :: {entry.code!r}"
+        )
+    if json_out is not None:
+        json_out.parent.mkdir(parents=True, exist_ok=True)
+        json_out.write_text(render_json(result) + "\n", encoding="utf-8")
+        print(f"lint report written to {json_out}")
+    print(render_text(result))
+    return result.exit_code
+
+
+def run_mypy(require: bool) -> int:
+    """Run mypy with the pyproject configuration, if available."""
+    if importlib.util.find_spec("mypy") is None:
+        message = "mypy not installed; skipping the type-checking gate"
+        if require:
+            print(f"error: {message} (--require-mypy set)", file=sys.stderr)
+            return 2
+        print(f"notice: {message}")
+        return 0
+    completed = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", str(ROOT / "pyproject.toml")],
+        cwd=ROOT,
+    )
+    return completed.returncode
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the machine-readable lint report here (CI artifact)",
+    )
+    parser.add_argument(
+        "--require-mypy",
+        action="store_true",
+        help="fail (instead of skipping) when mypy is not installed",
+    )
+    parser.add_argument(
+        "--skip-mypy", action="store_true", help="run only the contract linter"
+    )
+    args = parser.parse_args(argv)
+
+    lint_status = run_lint(args.json_out)
+    mypy_status = 0 if args.skip_mypy else run_mypy(args.require_mypy)
+    if lint_status == 0 and mypy_status == 0:
+        print("static-analysis contracts: OK")
+        return 0
+    return max(lint_status, mypy_status)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

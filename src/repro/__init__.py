@@ -134,7 +134,7 @@ from repro.timeseries import (
 )
 from repro import telemetry
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     # exceptions

@@ -1,4 +1,9 @@
-"""Analysis helpers: Monte-Carlo drivers, metrics and plain-text reporting."""
+"""Analysis helpers: Monte-Carlo drivers, metrics and plain-text reporting.
+
+The :mod:`repro.analysis.lint` subpackage (the ``repro lint`` contract
+checker) is deliberately *not* imported here: it is developer tooling —
+stdlib-only AST analysis — and nothing at runtime depends on it.
+"""
 
 from repro.analysis.metrics import (
     detection_statistics,

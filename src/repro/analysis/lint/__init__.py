@@ -1,0 +1,53 @@
+"""``repro lint`` — AST-based contract checker for the reproduction's invariants.
+
+The repo's determinism and crash-safety guarantees (bit-identical
+parallel/serial results, stable spec content hashes, fsync'd stores) rest
+on coding conventions that plain tests cannot enforce exhaustively: one
+global RNG call or unsorted directory listing in a hot path silently breaks
+reproducibility.  This package turns those conventions into mechanical
+rules over the Python AST (plus targeted imports for cross-checks),
+surfaced as ``python -m repro lint`` and gated in CI.
+
+Layout
+------
+:mod:`~repro.analysis.lint.core`
+    Finding/rule model, registry, suppression comments, file walker.
+:mod:`~repro.analysis.lint.rules`
+    The shipped contract rules (see :data:`~repro.analysis.lint.core.REGISTRY`).
+:mod:`~repro.analysis.lint.baseline`
+    Committed-baseline load/match/write for grandfathered findings.
+:mod:`~repro.analysis.lint.reporters`
+    Text and JSON renderings of a lint run.
+:mod:`~repro.analysis.lint.cli`
+    The ``repro lint`` subcommand.
+
+The package is dependency-free (stdlib only) so the gate runs anywhere the
+interpreter does.
+"""
+
+from repro.analysis.lint.baseline import Baseline, load_baseline, write_baseline
+from repro.analysis.lint.core import (
+    REGISTRY,
+    Finding,
+    FileContext,
+    LintConfig,
+    LintResult,
+    Rule,
+    lint_paths,
+)
+
+# Importing the rules module registers every shipped rule.
+from repro.analysis.lint import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "REGISTRY",
+    "Rule",
+    "lint_paths",
+    "load_baseline",
+    "write_baseline",
+]

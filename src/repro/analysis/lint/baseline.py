@@ -1,0 +1,196 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline entry pins one *known and justified* finding so the gate can
+land clean without rewriting history in a single PR.  Entries are matched
+by the finding's content fingerprint (rule + module identity + enclosing
+scope + source line text — never the line number), so unrelated edits that
+shift code do not invalidate the baseline, while changing the offending
+line itself does — the finding then resurfaces and must be re-justified or
+fixed.
+
+The file is plain JSON, hand-editable (fingerprints are recomputed from
+the entry fields at load time, so humans never have to hash anything), and
+multiset-matched: two identical offending lines need two entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.analysis.lint.core import Finding, LintResult
+from repro.exceptions import ReproError
+
+BASELINE_VERSION = 1
+
+#: Default committed baseline location (repo root).
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding with its one-line justification."""
+
+    rule: str
+    module: str
+    scope: str
+    code: str
+    justification: str = ""
+
+    def fingerprint(self) -> str:
+        """Identity matching :meth:`repro.analysis.lint.core.Finding.fingerprint`."""
+        return Finding(
+            rule=self.rule,
+            path=self.module,
+            module=self.module or None,
+            line=0,
+            column=0,
+            scope=self.scope,
+            code=self.code,
+            message="",
+        ).fingerprint()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "module": self.module,
+            "scope": self.scope,
+            "code": self.code,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    """A set (multiset) of grandfathered findings."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+    path: Path | None = None
+
+    def apply(self, result: LintResult) -> LintResult:
+        """Filter baselined findings out of ``result`` (in place).
+
+        Matching is by fingerprint with multiplicity: each entry absorbs at
+        most one finding, so a *new* duplicate of a baselined violation
+        still fails the gate.
+        """
+        budget = Counter(entry.fingerprint() for entry in self.entries)
+        kept: list[Finding] = []
+        for finding in result.findings:
+            key = finding.fingerprint()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                result.baselined += 1
+            else:
+                kept.append(finding)
+        result.findings = kept
+        return result
+
+    def stale_entries(self, result_before_apply: Sequence[Finding]) -> list[BaselineEntry]:
+        """Entries matching no current finding (candidates for removal)."""
+        current = Counter(f.fingerprint() for f in result_before_apply)
+        stale: list[BaselineEntry] = []
+        for entry in self.entries:
+            key = entry.fingerprint()
+            if current.get(key, 0) > 0:
+                current[key] -= 1
+            else:
+                stale.append(entry)
+        return stale
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Load a baseline file; a missing file is an explicit error.
+
+    The gate must never silently pass because the baseline it expected to
+    compare against was not checked out.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ReproError(f"baseline file not found: {path}") from None
+    except (OSError, json.JSONDecodeError) as error:
+        raise ReproError(f"unreadable baseline file {path}: {error}") from None
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ReproError(f"malformed baseline file {path}: missing 'entries'")
+    entries: list[BaselineEntry] = []
+    for raw in payload["entries"]:
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    module=str(raw.get("module", "")),
+                    scope=str(raw.get("scope", "<module>")),
+                    code=str(raw["code"]),
+                    justification=str(raw.get("justification", "")),
+                )
+            )
+        except (KeyError, TypeError) as error:
+            raise ReproError(
+                f"malformed baseline entry in {path}: {raw!r} ({error})"
+            ) from None
+    return Baseline(entries=entries, path=path)
+
+
+def entries_from_findings(
+    findings: Iterable[Finding], justification: str = "grandfathered (TODO: justify or fix)"
+) -> list[BaselineEntry]:
+    """Turn current findings into baseline entries (sorted, stable)."""
+    entries = [
+        BaselineEntry(
+            rule=f.rule,
+            module=f.module or Path(f.path).name,
+            scope=f.scope,
+            code=f.code,
+            justification=justification,
+        )
+        for f in findings
+    ]
+    entries.sort(key=lambda e: (e.module, e.rule, e.scope, e.code))
+    return entries
+
+
+def write_baseline(path: str | Path, entries: Sequence[BaselineEntry]) -> Path:
+    """Atomically write a baseline file (temp file + ``os.replace``)."""
+    path = Path(path)
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Grandfathered `repro lint` findings. Matched by content "
+            "fingerprint (rule+module+scope+code), not line number; edit the "
+            "offending line and the finding resurfaces. Keep justifications "
+            "to one line."
+        ),
+        "entries": [entry.to_dict() for entry in entries],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(prefix=".lint-baseline-", suffix=".tmp", dir=path.parent)
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE_NAME",
+    "Baseline",
+    "BaselineEntry",
+    "entries_from_findings",
+    "load_baseline",
+    "write_baseline",
+]

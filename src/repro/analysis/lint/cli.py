@@ -1,0 +1,137 @@
+"""The ``repro lint`` subcommand.
+
+Wired into the main ``python -m repro`` parser by
+:func:`repro.campaign.cli.build_parser`; kept here so the contract checker
+stays a self-contained, dependency-free package.
+
+Exit codes: 0 clean, 1 findings remain (after suppressions and, with
+``--baseline``, baseline filtering), 2 on usage or internal errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.analysis.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    entries_from_findings,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.lint.core import lint_paths
+from repro.analysis.lint.reporters import render_json, render_rule_catalog, render_text
+from repro.exceptions import ReproError
+
+DEFAULT_LINT_TARGET = "src/repro"
+
+
+def add_lint_parser(
+    subparsers: Any, parents: Sequence[argparse.ArgumentParser] = ()
+) -> argparse.ArgumentParser:
+    """Register the ``lint`` subcommand on the root CLI."""
+    lint = subparsers.add_parser(
+        "lint",
+        parents=list(parents),
+        help="check determinism/crash-safety contracts (AST-based)",
+        description=(
+            "Static contract checker for the reproduction's invariants: "
+            "RNG stream discipline, wall-clock hygiene, ordering "
+            "determinism, spec-hash field coverage, frozen-mutation scope "
+            "and durable-write discipline. See --list-rules for the "
+            "catalog; suppress a finding inline with "
+            "'# repro-lint: disable=RULE'."
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=[DEFAULT_LINT_TARGET],
+        help=f"files or directories to check (default: {DEFAULT_LINT_TARGET})",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="ID",
+        help="run only this rule (repeatable)",
+    )
+    lint.add_argument(
+        "--baseline",
+        action="store_true",
+        help="filter findings matched by the committed baseline file",
+    )
+    lint.add_argument(
+        "--baseline-file",
+        default=DEFAULT_BASELINE_NAME,
+        help=f"baseline location (default: {DEFAULT_BASELINE_NAME})",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        dest="json_output",
+        help="machine-readable report on stdout (the CI artifact format)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (id, summary, rationale) and exit",
+    )
+    lint.add_argument(
+        "-v", "--verbose", action="store_true", help="show the offending source lines"
+    )
+    lint.set_defaults(handler=cmd_lint)
+    return lint
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Handler for ``repro lint``."""
+    if args.list_rules:
+        print(render_rule_catalog())
+        return 0
+    try:
+        result = lint_paths(args.paths, rule_ids=args.rules)
+    except ValueError as error:  # unknown --rule id
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        entries = entries_from_findings(result.findings)
+        path = write_baseline(args.baseline_file, entries)
+        print(f"wrote {len(entries)} baseline entr(ies) to {path}")
+        return 0
+    if args.baseline:
+        baseline = load_baseline(args.baseline_file)
+        stale = baseline.stale_entries(result.findings)
+        baseline.apply(result)
+        for entry in stale:
+            result.errors.append(
+                f"stale baseline entry (no matching finding): "
+                f"[{entry.rule}] {entry.module} :: {entry.code!r} — remove it "
+                f"from {baseline.path}"
+            )
+    print(render_json(result) if args.json_output else render_text(result, args.verbose))
+    return result.exit_code
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.analysis.lint.cli``)."""
+    parser = argparse.ArgumentParser(prog="repro-lint")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    add_lint_parser(subparsers)
+    args = parser.parse_args(["lint", *(argv if argv is not None else sys.argv[1:])])
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Text and JSON renderings of a lint run."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.lint.core import REGISTRY, LintResult
+
+LINT_REPORT_VERSION = 1
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.column}: "
+            f"[{finding.rule}] {finding.message} ({finding.scope})"
+        )
+        if verbose and finding.code:
+            lines.append(f"    {finding.code}")
+    for error in result.errors:
+        lines.append(f"error: {error}")
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files_checked} file(s)"
+        f" [{result.suppressed} suppressed, {result.baselined} baselined]"
+    )
+    lines.append(summary if result.findings or result.errors else f"clean: {summary}")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (the CI artifact format).
+
+    Stable, sorted-key JSON so CI diffs and ``grep``/``jq`` pipelines over
+    uploaded artifacts stay meaningful across runs.
+    """
+    payload: dict[str, Any] = {
+        "version": LINT_REPORT_VERSION,
+        "files_checked": result.files_checked,
+        "rules": list(result.rules),
+        "findings": [finding.to_dict() for finding in result.findings],
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "errors": list(result.errors),
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)
+
+
+def render_rule_catalog() -> str:
+    """The ``--list-rules`` output: id, summary and rationale per rule."""
+    blocks: list[str] = []
+    for rule_id in sorted(REGISTRY):
+        rule = REGISTRY[rule_id]
+        blocks.append(f"{rule_id}\n    {rule.summary}\n    {rule.rationale}")
+    return "\n\n".join(blocks)
+
+
+__all__ = ["LINT_REPORT_VERSION", "render_json", "render_rule_catalog", "render_text"]

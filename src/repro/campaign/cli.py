@@ -27,6 +27,7 @@ import sys
 from pathlib import Path
 from typing import Any, Sequence
 
+from repro.analysis.lint.cli import add_lint_parser
 from repro.analysis.reporting import format_table
 from repro.campaign.definition import CampaignDefinition
 from repro.campaign.orchestrator import CampaignOrchestrator, CampaignReport
@@ -471,6 +472,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="interpreter/library versions, machine shape, config",
     )
     telemetry_env.set_defaults(handler=_cmd_telemetry_env)
+
+    add_lint_parser(commands, [logging_parent])
 
     return parser
 

@@ -111,12 +111,20 @@ class ResultCache:
         return self.path_for(spec).exists()
 
     def __len__(self) -> int:
-        return sum(1 for _ in self._directory.glob("*.json"))
+        # Sorted traversal: Path.glob enumerates in filesystem order, which
+        # differs between machines — the motivating example of the
+        # `unsorted-iteration` contract rule (`repro lint`).
+        return len(sorted(self._directory.glob("*.json")))
 
     def clear(self) -> int:
-        """Delete every entry; returns the number of files removed."""
+        """Delete every entry; returns the number of files removed.
+
+        Entries are removed in sorted name order so the deletion sequence
+        (and any interleaving with concurrent readers) is deterministic
+        across machines.
+        """
         removed = 0
-        for path in self._directory.glob("*.json"):
+        for path in sorted(self._directory.glob("*.json")):
             path.unlink(missing_ok=True)
             removed += 1
         return removed

@@ -153,6 +153,9 @@ class PowerNetwork:
         cached = self.__dict__.get("_arrays")
         if cached is None:
             cached = NetworkArrays.from_network(self)
+            # Memoisation of a value derived purely from frozen fields:
+            # observationally immutable, so exempt from the mutation rule.
+            # repro-lint: disable=frozen-mutation
             object.__setattr__(self, "_arrays", cached)
         return cached
 

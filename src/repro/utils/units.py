@@ -7,20 +7,28 @@ reported results use engineering units (MW, $/MWh) as in the paper's tables.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 #: Default system base power, in MVA, matching MATPOWER's convention.
 DEFAULT_BASE_MVA: float = 100.0
 
 
-def mw_to_pu(value_mw, base_mva: float = DEFAULT_BASE_MVA):
+def mw_to_pu(
+    value_mw: float | Sequence[float] | np.ndarray,
+    base_mva: float = DEFAULT_BASE_MVA,
+) -> np.ndarray:
     """Convert a power value (or array) from MW to per unit."""
     if base_mva <= 0:
         raise ValueError(f"base_mva must be positive, got {base_mva}")
     return np.asarray(value_mw, dtype=float) / float(base_mva)
 
 
-def pu_to_mw(value_pu, base_mva: float = DEFAULT_BASE_MVA):
+def pu_to_mw(
+    value_pu: float | Sequence[float] | np.ndarray,
+    base_mva: float = DEFAULT_BASE_MVA,
+) -> np.ndarray:
     """Convert a power value (or array) from per unit to MW."""
     if base_mva <= 0:
         raise ValueError(f"base_mva must be positive, got {base_mva}")
