@@ -6,7 +6,10 @@ scenario's trials inside one process while sharing a single
 :class:`~repro.estimation.linear_model.LinearModelCache`, so trials that
 evaluate the same (case, perturbation) pair — the common case for the
 ``designed`` and ``none`` MTD policies, and for every Monte-Carlo detector
-run — build and factorize the measurement Jacobian exactly once.
+run — build and factorize the measurement Jacobian exactly once.  The
+cache keys carry the resolved factorization backend (``spec.backend``
+resolved per network size), so batches running the dense and sparse
+backends never exchange factorisations even when they share a cache.
 
 Determinism contract
 --------------------

@@ -327,8 +327,11 @@ def _scale_suite() -> tuple[ScenarioSpec, ...]:
     """Beyond the paper: the same pipeline on progressively larger grids.
 
     Random-policy Monte Carlo with per-trial attack ensembles (``seed=None``)
-    across the IEEE cases and the 57-/118-/300-bus synthetic networks — the
-    workload the engine's process pool, batched kernel and cache exist for.
+    across the IEEE cases and the 57-/118-/300-/1354-bus synthetic networks —
+    the workload the engine's process pool, batched kernel, cache and sparse
+    factorization backend exist for (cases at or above
+    ``SPARSE_BUS_THRESHOLD`` buses resolve ``backend="auto"`` to the sparse
+    Q-less kernels).
     """
     specs = []
     for case, baseline in (
@@ -337,6 +340,7 @@ def _scale_suite() -> tuple[ScenarioSpec, ...]:
         ("synthetic57", "dc-opf"),
         ("synthetic118", "dc-opf"),
         ("synthetic300", "dc-opf"),
+        ("synthetic1354", "dc-opf"),
     ):
         specs.append(
             ScenarioSpec(

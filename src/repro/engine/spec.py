@@ -34,9 +34,11 @@ SPEC_SCHEMA_VERSION = 2
 _LABEL_FIELDS = ("name", "description", "tags")
 
 #: Spec fields that tune *how* a scenario executes without affecting its
-#: outcome (batched results are bit-identical to serial ones), and are
-#: therefore excluded from the content hash like the label fields.
-_EXECUTION_FIELDS = ("batch_size",)
+#: outcome (batched results are bit-identical to serial ones, and the
+#: factorization backends agree within solver tolerance — the dense path
+#: is unchanged), and are therefore excluded from the content hash like
+#: the label fields.
+_EXECUTION_FIELDS = ("batch_size", "backend")
 
 
 def _freeze(value: Any) -> Any:
@@ -324,6 +326,14 @@ class ScenarioSpec:
         :class:`~repro.estimation.linear_model.LinearModelCache`.  ``None``
         (default) leaves the choice to the engine; batching never changes
         results — batched trials are bit-identical to serial ones.
+    backend:
+        Execution hint (excluded from the content hash): the factorization
+        backend of the estimation stack — ``"auto"`` (default: dense below
+        :data:`~repro.grid.matrices.SPARSE_BUS_THRESHOLD` buses, sparse Q-less
+        at or above), ``"dense"`` or ``"sparse"``.  The dense path is
+        byte-for-byte the pre-backend arithmetic and the backends agree
+        within solver tolerance, so cached results stay valid across
+        backend switches.
     description, tags:
         Free-form labels (excluded from the content hash).
     """
@@ -340,6 +350,7 @@ class ScenarioSpec:
     deltas: tuple[float, ...] = (0.5, 0.8, 0.9, 0.95)
     metric: str = "eta(0.9)"
     batch_size: int | None = None
+    backend: str = "auto"
     description: str = ""
     tags: tuple[str, ...] = ()
 
@@ -369,6 +380,10 @@ class ScenarioSpec:
         if self.batch_size is not None and self.batch_size < 1:
             raise ConfigurationError(
                 f"batch_size must be at least 1 (or None), got {self.batch_size}"
+            )
+        if self.backend not in ("auto", "dense", "sparse"):
+            raise ConfigurationError(
+                f"backend must be 'auto', 'dense' or 'sparse', got {self.backend!r}"
             )
         object.__setattr__(self, "deltas", tuple(float(d) for d in self.deltas))
         object.__setattr__(self, "tags", tuple(str(t) for t in self.tags))

@@ -105,8 +105,14 @@ def _shared_evaluator(
     attack: AttackSpec,
     detector: DetectorSpec,
     contingency: ContingencySpec | None = None,
+    backend: str = "auto",
 ) -> EffectivenessEvaluator:
-    """Evaluator with a pinned attack ensemble, shared by all trials."""
+    """Evaluator with a pinned attack ensemble, shared by all trials.
+
+    ``backend`` participates in the memo key: evaluators resolve the
+    factorization backend at construction, so specs differing only in
+    ``spec.backend`` must not share an evaluator.
+    """
     network, baseline = _grid_context(grid, contingency)
     return EffectivenessEvaluator(
         network,
@@ -117,6 +123,7 @@ def _shared_evaluator(
         n_attacks=attack.n_attacks,
         attack_ratio=attack.ratio,
         seed=attack.seed,
+        backend=backend,
     )
 
 
@@ -211,7 +218,7 @@ def _run_trial_body(
     network, baseline = _grid_context(spec.grid, spec.contingency)
     if spec.attack.seed is not None:
         evaluator = _shared_evaluator(
-            spec.grid, spec.attack, spec.detector, spec.contingency
+            spec.grid, spec.attack, spec.detector, spec.contingency, spec.backend
         )
     else:
         evaluator = EffectivenessEvaluator(
@@ -223,6 +230,7 @@ def _run_trial_body(
             n_attacks=spec.attack.n_attacks,
             attack_ratio=spec.attack.ratio,
             seed=np.random.Generator(np.random.PCG64(attack_seq)),
+            backend=spec.backend,
         )
 
     reactances, spa = _apply_policy(

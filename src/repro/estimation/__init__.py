@@ -16,8 +16,19 @@ Implements the DC-model supervisory stack of Section III of the paper:
   batched kernel behind both: Jacobian, gain-matrix Cholesky and residual
   projector computed once per perturbation and applied to whole ``(B, M)``
   measurement/attack batches with single BLAS calls.
+* :mod:`~repro.estimation.backends` — pluggable factorization backends:
+  dense QR (the original arithmetic) and a sparse Q-less gain-matrix LU
+  for 1000+ bus cases, selected per model via ``backend="auto"``.
 """
 
+from repro.estimation.backends import (
+    BACKEND_CHOICES,
+    DenseQRBackend,
+    FactorizationBackend,
+    SparseQlessBackend,
+    available_backends,
+    resolve_backend,
+)
 from repro.estimation.linear_model import BatchStateEstimate, LinearModel, LinearModelCache
 from repro.estimation.measurement import MeasurementSystem
 from repro.estimation.state_estimator import StateEstimate, WLSStateEstimator
@@ -32,6 +43,12 @@ __all__ = [
     "LinearModel",
     "LinearModelCache",
     "BatchStateEstimate",
+    "FactorizationBackend",
+    "DenseQRBackend",
+    "SparseQlessBackend",
+    "BACKEND_CHOICES",
+    "available_backends",
+    "resolve_backend",
     "is_observable",
     "observability_report",
 ]

@@ -28,6 +28,7 @@ import numpy as np
 from scipy import stats
 
 from repro.exceptions import EstimationError
+from repro.estimation.backends import BACKEND_AUTO
 from repro.estimation.linear_model import LinearModel
 from repro.estimation.measurement import MeasurementSystem
 from repro.estimation.state_estimator import WLSStateEstimator
@@ -61,6 +62,10 @@ class BadDataDetector:
         served from a :class:`~repro.estimation.linear_model.
         LinearModelCache`), so that trials sharing a perturbation do not
         refactorize the Jacobian.  Built from the system when omitted.
+    backend:
+        Factorisation backend for the model built when ``model`` is
+        omitted: ``"auto"`` (default), ``"dense"`` or ``"sparse"`` (see
+        :mod:`repro.estimation.backends`).
     """
 
     def __init__(
@@ -68,6 +73,7 @@ class BadDataDetector:
         system: MeasurementSystem,
         false_positive_rate: float = DEFAULT_FALSE_POSITIVE_RATE,
         model: LinearModel | None = None,
+        backend: str = BACKEND_AUTO,
     ) -> None:
         if not (0.0 < false_positive_rate < 1.0):
             raise EstimationError(
@@ -75,7 +81,7 @@ class BadDataDetector:
             )
         self._system = system
         self._alpha = float(false_positive_rate)
-        self._estimator = WLSStateEstimator(system, model=model)
+        self._estimator = WLSStateEstimator(system, model=model, backend=backend)
         dof = self._estimator.degrees_of_freedom
         if dof <= 0:
             raise EstimationError(
@@ -252,8 +258,9 @@ class BadDataDetector:
         # The noiseless measurement vector is shared by every attack; hoist
         # it out of the loop (the per-attack arithmetic and RNG stream stay
         # identical to per-attack measure_batch calls, reusing the already
-        # factorized Jacobian instead of rebuilding it each iteration).
-        z0 = self.model.matrix @ self._system.reduce_angles(angles_rad)
+        # factorized Jacobian instead of rebuilding it each iteration —
+        # apply_states keeps the product sparse on the sparse backend).
+        z0 = self.model.apply_states(self._system.reduce_angles(angles_rad))
         if A.shape[1] != z0.shape[0]:
             raise EstimationError(
                 f"attack length {A.shape[1]} does not match measurement count {z0.shape[0]}"

@@ -2,14 +2,19 @@
 
 This module is the heart of the batched trial kernel.  A
 :class:`LinearModel` captures everything the estimation stack derives from
-one (measurement matrix, weights) pair — the Jacobian ``H``, the QR
-factorisation of the weighted Jacobian ``W^{1/2}H`` (whose triangular
-factor is, up to row signs, the Cholesky factor of the gain matrix
-``G = HᵀWH``), and the implied residual projector — and exposes *batched*
-linear-algebra entry points: state estimation, weighted residual norms and
-attack noncentralities for ``(B, M)`` stacks of measurement / attack
-vectors, each evaluated with a single BLAS call instead of a per-vector
-Python loop.
+one (measurement matrix, weights) pair — the Jacobian ``H``, a
+factorisation of the weighted Jacobian ``W^{1/2}H`` and the implied
+residual projector — and exposes *batched* linear-algebra entry points:
+state estimation, weighted residual norms and attack noncentralities for
+``(B, M)`` stacks of measurement / attack vectors, each evaluated with a
+single BLAS call instead of a per-vector Python loop.
+
+The factorisation itself is pluggable (see
+:mod:`repro.estimation.backends`): the default ``backend="auto"`` keeps
+the original dense QR path — byte-for-byte unchanged — below
+:data:`~repro.grid.matrices.SPARSE_BUS_THRESHOLD` buses and switches to a
+sparse Q-less gain-matrix LU above it, so 1000+ bus cases never
+materialise a dense ``(M, n)`` factor.
 
 A :class:`LinearModelCache` memoises the factorisations by caller-chosen
 keys so that Monte-Carlo trials sharing a (case, perturbation) pair pay for
@@ -25,17 +30,27 @@ Shapes used throughout (matching the paper's Section III):
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable
+from typing import TYPE_CHECKING, Any, Callable, Hashable
 
 import numpy as np
-import scipy.linalg
+import scipy.sparse
 
+from repro.estimation.backends import (
+    BACKEND_AUTO,
+    BACKEND_SPARSE,
+    MatrixLike,
+    build_backend,
+    resolve_backend,
+)
 from repro.exceptions import ConfigurationError, EstimationError
 from repro.telemetry import metrics as _metrics
 from repro.telemetry.config import _STATE as _TELEMETRY
-from repro.utils.linalg import is_full_column_rank
+
+if TYPE_CHECKING:
+    from repro.estimation.measurement import MeasurementSystem
 
 #: Internal sentinel distinguishing "absent" from a legitimately cached
 #: falsy value (None, empty array) in :class:`LinearModelCache`.
@@ -69,68 +84,113 @@ class LinearModel:
     ----------
     matrix:
         The (reduced) measurement Jacobian ``H``, shape ``(M, n)`` with
-        ``M > n``.  Must have full column rank (observable network).
+        ``M > n`` — a dense array or any scipy sparse matrix.  Must have
+        full column rank (observable network).
     weights:
         Measurement weights ``1/σ²``, shape ``(M,)``, all strictly positive.
+    backend:
+        Factorisation backend: ``"auto"`` (default — dense below
+        :data:`~repro.grid.matrices.SPARSE_BUS_THRESHOLD` buses, sparse at
+        or above it), ``"dense"`` (thin QR, the original golden-pinned
+        arithmetic) or ``"sparse"`` (Q-less gain-matrix LU; see
+        :mod:`repro.estimation.backends`).
 
     Raises
     ------
     EstimationError
         If shapes are inconsistent, weights are not positive, or ``H`` is
         rank deficient.
+    ConfigurationError
+        For an unknown backend name.
 
     Notes
     -----
-    The model stores the thin QR factorisation ``W^{1/2}H = QR``.  All
-    derived quantities reuse it:
+    On the dense backend the model stores the thin QR factorisation
+    ``W^{1/2}H = QR`` and all derived quantities reuse it:
 
     * states: ``θ̂ = R⁻¹ Qᵀ W^{1/2} z``,
     * residual projector (weighted space): ``I − QQᵀ``,
     * gain-matrix Cholesky: ``G = HᵀWH = RᵀR``, so the upper Cholesky
       factor of ``G`` is ``R`` with rows sign-normalised.
+
+    The sparse backend factorises ``G = HᵀWH`` directly (COLAMD-ordered
+    sparse LU) and evaluates the same quantities without materialising
+    ``Q``; results agree with the dense backend to solver tolerance (the
+    tier-1 agreement tests pin the bound).
     """
 
-    def __init__(self, matrix: np.ndarray, weights: np.ndarray) -> None:
-        H = np.asarray(matrix, dtype=float)
+    def __init__(
+        self,
+        matrix: MatrixLike,
+        weights: np.ndarray,
+        backend: str = BACKEND_AUTO,
+    ) -> None:
+        sparse_input = scipy.sparse.issparse(matrix)
+        if sparse_input:
+            H: MatrixLike = matrix
+            shape = matrix.shape
+        else:
+            H = np.asarray(matrix, dtype=float)
+            if H.ndim != 2:
+                raise EstimationError(
+                    f"expected a 2-D measurement matrix, got shape {H.shape}"
+                )
+            shape = H.shape
         w = np.asarray(weights, dtype=float).ravel()
-        if H.ndim != 2:
-            raise EstimationError(f"expected a 2-D measurement matrix, got shape {H.shape}")
-        if w.shape[0] != H.shape[0]:
+        if w.shape[0] != shape[0]:
             raise EstimationError(
-                f"weights length {w.shape[0]} does not match measurement count {H.shape[0]}"
+                f"weights length {w.shape[0]} does not match measurement count {shape[0]}"
             )
         if np.any(w <= 0):
             raise EstimationError("all measurement weights must be strictly positive")
-        self._H = H
         self._sqrt_w = np.sqrt(w)
-        weighted_H = self._sqrt_w[:, None] * H
-        # SVD-based rank test: an unpivoted QR diagonal can look healthy on
-        # nearly singular (Kahan-type) matrices, so the observability guard
-        # keeps the singular-value criterion the estimator always used.
-        if not is_full_column_rank(weighted_H):
-            raise EstimationError(
-                "measurement matrix is rank deficient; the network is unobservable"
-            )
+        # The reduced Jacobian has one column per non-slack bus, so the
+        # network size that drives the "auto" crossover is ``n + 1``.
+        resolved = resolve_backend(backend, n_buses=shape[1] + 1)
+        start = time.perf_counter()
+        self._fact = build_backend(H, self._sqrt_w, resolved)
+        elapsed = time.perf_counter() - start
         if _TELEMETRY.enabled:
-            import time
-
-            start = time.perf_counter()
-            q, r = np.linalg.qr(weighted_H)
+            # Observation only: the factorisation is timed unconditionally
+            # (it is one perf_counter call), the metrics are recorded only
+            # when telemetry is on.
             _metrics.counter("estimation.factorizations")
-            _metrics.histogram(
-                "estimation.factorize_seconds", time.perf_counter() - start
-            )
-        else:
-            q, r = np.linalg.qr(weighted_H)
-        self._q = q
-        self._r = r
+            _metrics.counter(f"estimation.backend.{resolved}")
+            _metrics.histogram("estimation.factorize_seconds", elapsed)
         self._gain_chol: np.ndarray | None = None
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_measurement_system(
+        cls, system: "MeasurementSystem", backend: str = BACKEND_AUTO
+    ) -> "LinearModel":
+        """Build the model of a measurement system, backend-aware.
+
+        Resolves ``backend`` first so the sparse path builds ``H`` with
+        the CSR builder (:meth:`~repro.estimation.measurement.
+        MeasurementSystem.matrix_sparse`) — the dense Jacobian is never
+        formed above the crossover.
+        """
+        resolved = resolve_backend(backend, n_buses=system.n_states + 1)
+        if resolved == BACKEND_SPARSE:
+            return cls(system.matrix_sparse(), system.weights(), backend=resolved)
+        return cls(system.matrix(), system.weights(), backend=resolved)
+
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """The resolved backend name, ``"dense"`` or ``"sparse"``."""
+        return self._fact.name
+
     @property
     def matrix(self) -> np.ndarray:
-        """The measurement Jacobian ``H``, shape ``(M, n)``."""
-        return self._H
+        """The measurement Jacobian ``H``, shape ``(M, n)``, densified.
+
+        The dense backend returns its stored array; the sparse backend
+        densifies on demand (a diagnostic accessor — the batched kernels
+        never call it).
+        """
+        return self._fact.matrix_dense()
 
     @property
     def sqrt_weights(self) -> np.ndarray:
@@ -139,23 +199,29 @@ class LinearModel:
 
     @property
     def q(self) -> np.ndarray:
-        """Orthonormal factor of ``W^{1/2}H``, shape ``(M, n)``."""
-        return self._q
+        """Orthonormal factor of ``W^{1/2}H``, shape ``(M, n)``.
+
+        Raises :class:`EstimationError` on the Q-less sparse backend.
+        """
+        return self._fact.q
 
     @property
     def r(self) -> np.ndarray:
-        """Triangular factor of ``W^{1/2}H``, shape ``(n, n)``."""
-        return self._r
+        """Triangular factor of ``W^{1/2}H``, shape ``(n, n)``.
+
+        Raises :class:`EstimationError` on the Q-less sparse backend.
+        """
+        return self._fact.r
 
     @property
     def n_measurements(self) -> int:
         """``M``, the number of measurements."""
-        return self._H.shape[0]
+        return self._fact.n_measurements
 
     @property
     def n_states(self) -> int:
         """``n``, the number of estimated states."""
-        return self._H.shape[1]
+        return self._fact.n_states
 
     @property
     def degrees_of_freedom(self) -> int:
@@ -169,13 +235,38 @@ class LinearModel:
         -------
         numpy.ndarray
             Upper-triangular ``(n, n)`` matrix ``U`` with positive diagonal
-            and ``UᵀU = G``; derived from the QR factor for free (``G =
-            RᵀR``) and cached after the first call.
+            and ``UᵀU = G``; on the dense backend derived from the QR
+            factor for free (``G = RᵀR``), on the sparse backend via a
+            dense ``(n, n)`` Cholesky of the gain matrix.  Cached after
+            the first call.
         """
         if self._gain_chol is None:
-            signs = np.where(np.diag(self._r) < 0.0, -1.0, 1.0)
-            self._gain_chol = signs[:, None] * self._r
+            self._gain_chol = self._fact.gain_cholesky()
         return self._gain_chol
+
+    def apply_states(self, states: np.ndarray) -> np.ndarray:
+        """Noiseless measurements ``Hθ`` of a state vector or stack.
+
+        Parameters
+        ----------
+        states:
+            Reduced (non-slack) state vector, shape ``(n,)``, or a stack
+            ``(B, n)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``Hθ`` (shape ``(M,)``) or ``θ Hᵀ`` (shape ``(B, M)``) —
+            evaluated sparsely on the sparse backend, so hot loops never
+            densify ``H``.
+        """
+        arr = np.asarray(states, dtype=float)
+        if arr.ndim not in (1, 2) or arr.shape[-1] != self.n_states:
+            raise EstimationError(
+                f"expected states of shape (B, {self.n_states}) or "
+                f"({self.n_states},), got {arr.shape}"
+            )
+        return self._fact.apply_states(arr)
 
     # ------------------------------------------------------------------
     def _as_batch(self, vectors: np.ndarray, what: str) -> tuple[np.ndarray, bool]:
@@ -206,7 +297,7 @@ class LinearModel:
         """
         Z, single = self._as_batch(measurements, "measurements")
         weighted = Z * self._sqrt_w
-        theta = scipy.linalg.solve_triangular(self._r, (weighted @ self._q).T).T
+        theta = self._fact.solve_states(weighted)
         return theta[0] if single else theta
 
     def estimate_batch(self, measurements: np.ndarray) -> BatchStateEstimate:
@@ -225,13 +316,10 @@ class LinearModel:
         """
         Z, _ = self._as_batch(measurements, "measurements")
         weighted = Z * self._sqrt_w
-        coeffs = weighted @ self._q                 # (B, n)
-        theta = scipy.linalg.solve_triangular(self._r, coeffs.T).T
-        fitted = theta @ self._H.T
-        # The norm uses the projector identity ‖W^{1/2}(z − Hθ̂)‖ =
-        # ‖(I − QQᵀ)W^{1/2}z‖ — the same arithmetic as residual_norms(), so
-        # every alarm decision in the library agrees bit-for-bit.
-        residual_norms = np.linalg.norm(weighted - coeffs @ self._q.T, axis=1)
+        # Each backend computes the three outputs from shared
+        # intermediates; per backend the norm arithmetic is identical to
+        # residual_norms(), so every alarm decision agrees bit-for-bit.
+        theta, residual_norms, fitted = self._fact.estimate(weighted)
         return BatchStateEstimate(
             angles_rad=theta,
             residual_norms=residual_norms,
@@ -253,15 +341,15 @@ class LinearModel:
 
         Notes
         -----
-        Computed directly from the residual projector in weighted space
-        (``r = ‖(I − QQᵀ)W^{1/2}z‖``) — one ``(B, M) @ (M, n)`` product and
-        one ``(B, n) @ (n, M)`` product, no triangular solve needed.
+        The dense backend uses the residual projector in weighted space
+        (``r = ‖(I − QQᵀ)W^{1/2}z‖``) — one ``(B, M) @ (M, n)`` product
+        and one ``(B, n) @ (n, M)`` product; the sparse backend evaluates
+        the mathematically identical direct form ``‖W^{1/2}(z − Hθ̂)‖``
+        through the gain-matrix LU.
         """
         Z, _ = self._as_batch(measurements, "measurements")
         weighted = Z * self._sqrt_w
-        coeffs = weighted @ self._q                 # (B, n)
-        projected = coeffs @ self._q.T              # (B, M)
-        return np.linalg.norm(weighted - projected, axis=1)
+        return self._fact.residual_norms(weighted)
 
     def attack_residuals(self, attacks: np.ndarray) -> np.ndarray:
         """Deterministic residual components ``(I − Γ)a`` of an attack batch.
@@ -278,7 +366,7 @@ class LinearModel:
         """
         A, single = self._as_batch(attacks, "attacks")
         weighted = A * self._sqrt_w
-        projected = (weighted @ self._q) @ self._q.T
+        projected = self._fact.project_weighted(weighted)
         residual = (weighted - projected) / self._sqrt_w
         return residual[0] if single else residual
 
@@ -297,7 +385,7 @@ class LinearModel:
         """
         A, _ = self._as_batch(attacks, "attacks")
         weighted = A * self._sqrt_w
-        projected = (weighted @ self._q) @ self._q.T
+        projected = self._fact.project_weighted(weighted)
         return np.linalg.norm(weighted - projected, axis=1)
 
     def attack_noncentralities(self, attacks: np.ndarray) -> np.ndarray:

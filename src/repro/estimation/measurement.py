@@ -17,7 +17,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import EstimationError
-from repro.grid.matrices import NetworkLike, reduced_measurement_matrix
+from repro.grid.matrices import (
+    NetworkLike,
+    reduced_measurement_matrix,
+    reduced_measurement_matrix_sparse,
+)
 from repro.utils.rng import as_generator
 
 #: Default measurement noise standard deviation, in per unit (0.15 % of the
@@ -105,6 +109,15 @@ class MeasurementSystem:
     def matrix(self) -> np.ndarray:
         """The reduced measurement matrix ``H`` (``M x (N−1)``)."""
         return reduced_measurement_matrix(self.network, self.reactance_vector())
+
+    def matrix_sparse(self):
+        """The reduced measurement matrix ``H`` in CSR form.
+
+        Same entries as :meth:`matrix` but built through the grid layer's
+        sparse assembly, so the sparse factorization backend never forms
+        the dense ``(M, N−1)`` array.
+        """
+        return reduced_measurement_matrix_sparse(self.network, self.reactance_vector())
 
     def weights(self) -> np.ndarray:
         """Measurement weights ``1/σ²`` (one per measurement)."""

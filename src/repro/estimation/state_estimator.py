@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import EstimationError
+from repro.estimation.backends import BACKEND_AUTO
 from repro.estimation.linear_model import BatchStateEstimate, LinearModel
 from repro.estimation.measurement import MeasurementSystem
 
@@ -58,18 +59,36 @@ class WLSStateEstimator:
         Optional pre-factorized :class:`LinearModel` for ``system`` (e.g.
         served from a :class:`~repro.estimation.linear_model.
         LinearModelCache`); built from the system when omitted.
+    backend:
+        Factorisation backend for the model built when ``model`` is
+        omitted: ``"auto"`` (default), ``"dense"`` or ``"sparse"`` (see
+        :mod:`repro.estimation.backends`).  When a concrete backend is
+        requested *and* a model is injected, the two must agree.
 
     Raises
     ------
     EstimationError
-        If the measurement matrix is rank deficient (unobservable network).
+        If the measurement matrix is rank deficient (unobservable network),
+        or an injected model conflicts with the system or the requested
+        backend.
     """
 
-    def __init__(self, system: MeasurementSystem, model: LinearModel | None = None) -> None:
+    def __init__(
+        self,
+        system: MeasurementSystem,
+        model: LinearModel | None = None,
+        backend: str = BACKEND_AUTO,
+    ) -> None:
         self._system = system
         if model is None:
-            model = LinearModel(system.matrix(), system.weights())
+            model = LinearModel.from_measurement_system(system, backend=backend)
         else:
+            if backend != BACKEND_AUTO and model.backend != backend:
+                raise EstimationError(
+                    f"injected model was factorized with the {model.backend!r} "
+                    f"backend but {backend!r} was requested; the factorization "
+                    "cache key must include the backend"
+                )
             # Guard against a mis-keyed cache handing over a factorization
             # of a different model.  Comparing the full Jacobian would cost
             # the very rebuild the cache avoids, but the dimensions and the

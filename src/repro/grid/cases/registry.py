@@ -159,5 +159,16 @@ register_case(
     _synthetic_factory(300, default_seed=300, rate_scale=2.0),
     validate_ratings=True,
 )
+# Production-scale case for the sparse factorization backend: a 1354-bus
+# network (the size of the PEGASE case the ROADMAP names) that scale
+# benchmarks and backend-agreement tests can load without bundled MATPOWER
+# data.  The widened rate_scale keeps the size-tightened rating heuristic
+# dispatchable (validated on registration like the other synthetics); every
+# parameter remains overridable (``load_case("synthetic1354", seed=7)``).
+register_case(
+    "synthetic1354",
+    _synthetic_factory(1354, default_seed=1354, rate_scale=3.0),
+    validate_ratings=True,
+)
 
 __all__ = ["register_case", "load_case", "available_cases", "CaseFactory"]

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.attacks.generator import AttackEnsemble, generate_attack_ensemble
 from repro.estimation.bdd import DEFAULT_FALSE_POSITIVE_RATE, BadDataDetector
+from repro.estimation.backends import BACKEND_AUTO, resolve_backend
 from repro.estimation.linear_model import LinearModel, LinearModelCache
 from repro.estimation.measurement import DEFAULT_NOISE_SIGMA, MeasurementSystem
 from repro.exceptions import ConfigurationError
@@ -122,6 +123,14 @@ class EffectivenessEvaluator:
         Attack magnitude ``‖a‖₁/‖z‖₁`` (paper: ≈0.08).
     seed:
         Seed for the attack ensemble.
+    backend:
+        Factorisation backend for the per-perturbation detector models:
+        ``"auto"`` (default — dense below
+        :data:`~repro.grid.matrices.SPARSE_BUS_THRESHOLD` buses, sparse at
+        or above), ``"dense"`` or ``"sparse"``.  Resolved once per
+        evaluator; the resolved name participates in both the shared
+        ``model_cache`` keys and the analytic memo keys, so evaluators on
+        different backends never exchange factorizations.
     """
 
     def __init__(
@@ -134,8 +143,10 @@ class EffectivenessEvaluator:
         n_attacks: int = 1000,
         attack_ratio: float = 0.08,
         seed: int | np.random.Generator | None = 0,
+        backend: str = BACKEND_AUTO,
     ) -> None:
         self._network = network
+        self._backend = resolve_backend(backend, n_buses=network.n_buses)
         self._angles = np.asarray(operating_angles_rad, dtype=float).ravel()
         if self._angles.shape[0] != network.n_buses:
             raise ConfigurationError(
@@ -181,6 +192,11 @@ class EffectivenessEvaluator:
     def base_reactances(self) -> np.ndarray:
         """Pre-perturbation reactance vector."""
         return self._base_reactances.copy()
+
+    @property
+    def backend(self) -> str:
+        """The resolved factorization backend, ``"dense"`` or ``"sparse"``."""
+        return self._backend
 
     # ------------------------------------------------------------------
     def evaluate(
@@ -237,7 +253,7 @@ class EffectivenessEvaluator:
                 # cost when trials share a perturbation.  A copy is handed
                 # out so callers can never corrupt the memo.
                 probabilities = self._analytic_memo.get_or_build(
-                    x.tobytes(),
+                    (x.tobytes(), self._backend),
                     lambda: self._build_detector(x, model_cache).detection_probabilities(
                         self._ensemble.attacks
                     ),
@@ -306,11 +322,21 @@ class EffectivenessEvaluator:
         )
         model: LinearModel | None = None
         if model_cache is not None:
+            # The key carries the resolved backend: a shared cache serving
+            # evaluators on different backends must never hand a sparse
+            # factorization to a dense consumer (or vice versa).
             model = model_cache.get_or_build(
-                (reactances.tobytes(), self._noise_sigma),
-                lambda: LinearModel(post_system.matrix(), post_system.weights()),
+                (reactances.tobytes(), self._noise_sigma, self._backend),
+                lambda: LinearModel.from_measurement_system(
+                    post_system, backend=self._backend
+                ),
             )
-        return BadDataDetector(post_system, false_positive_rate=self._alpha, model=model)
+        return BadDataDetector(
+            post_system,
+            false_positive_rate=self._alpha,
+            model=model,
+            backend=self._backend,
+        )
 
     def evaluate_perturbation(self, perturbation, **kwargs) -> EffectivenessResult:
         """Evaluate a :class:`~repro.mtd.perturbation.ReactancePerturbation`."""

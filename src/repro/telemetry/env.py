@@ -44,6 +44,12 @@ def environment_info() -> dict[str, Any]:
         info["sparse_bus_threshold"] = int(SPARSE_BUS_THRESHOLD)
     except Exception:  # pragma: no cover - partial installs
         info["sparse_bus_threshold"] = None
+    try:
+        from repro.estimation.backends import available_backends
+
+        info["factorization_backends"] = ",".join(available_backends())
+    except Exception:  # pragma: no cover - partial installs
+        info["factorization_backends"] = None
     return info
 
 

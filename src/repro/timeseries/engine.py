@@ -221,6 +221,7 @@ def _evaluator_for(
     attack: AttackSpec,
     detector: DetectorSpec,
     base_seed: int,
+    backend: str = "auto",
 ) -> EffectivenessEvaluator:
     """The attacker's evaluator for one hour (stale knowledge, fresh seed)."""
     evaluator_seed, _ = _hour_seeds(operation, base_seed, hour_context.hour)
@@ -233,6 +234,7 @@ def _evaluator_for(
         n_attacks=attack.n_attacks,
         attack_ratio=attack.ratio,
         seed=evaluator_seed,
+        backend=backend,
     )
 
 
@@ -244,10 +246,13 @@ def _cached_evaluator(
     detector: DetectorSpec,
     base_seed: int,
     hour: int,
+    backend: str = "auto",
 ) -> EffectivenessEvaluator:
     network = _cached_network(grid)
     hours = _cached_hours(grid, operation, base_seed)
-    return _evaluator_for(network, hours[hour], operation, attack, detector, base_seed)
+    return _evaluator_for(
+        network, hours[hour], operation, attack, detector, base_seed, backend
+    )
 
 
 def clear_operation_caches() -> None:
@@ -466,7 +471,8 @@ def run_operation_trial(
             f"hour must be in [0, {len(hours)}), got {hour}"
         )
     evaluator = _cached_evaluator(
-        spec.grid, operation, spec.attack, spec.detector, spec.base_seed, hour
+        spec.grid, operation, spec.attack, spec.detector, spec.base_seed, hour,
+        spec.backend,
     )
     if _TELEMETRY.enabled:
         with _span("timeseries.hour", hour=hour):

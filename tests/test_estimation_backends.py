@@ -1,0 +1,331 @@
+"""Factorization-backend contracts: dense golden identity, sparse agreement.
+
+Three families of guarantees from the backend-pluggable refactor:
+
+* **Golden dense path** — ``backend="dense"`` must reproduce the
+  pre-backend arithmetic *byte-for-byte*: same QR factors, same states,
+  same residual norms, same gain Cholesky as an inline
+  ``np.linalg.qr``-based reference.
+* **Sparse agreement** — the Q-less sparse backend must agree with the
+  dense backend within the documented tolerance (~1e-9 relative on
+  states and residual norms) on **every registered case** plus a
+  file-referenced MATPOWER case, and must raise identical observability
+  errors on rank-deficient models.
+* **Plumbing** — the ``backend=`` knob resolves correctly, is excluded
+  from the spec content hash (an execution knob, like ``batch_size``),
+  reaches every factorisation-cache key (so dense and sparse runs never
+  exchange factorisations), and is observable via telemetry and the
+  environment stamp.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg
+import scipy.sparse
+
+from repro import telemetry
+from repro.engine import (
+    AttackSpec,
+    GridSpec,
+    MTDSpec,
+    ScenarioSpec,
+    run_trial,
+    run_trial_batch,
+    scenario_suite,
+)
+from repro.estimation.backends import (
+    BACKEND_CHOICES,
+    DenseQRBackend,
+    SparseQlessBackend,
+    available_backends,
+    build_backend,
+    resolve_backend,
+)
+from repro.estimation.bdd import BadDataDetector
+from repro.estimation.linear_model import LinearModel, LinearModelCache
+from repro.estimation.measurement import MeasurementSystem
+from repro.estimation.state_estimator import WLSStateEstimator
+from repro.exceptions import ConfigurationError, EstimationError
+from repro.grid.cases.registry import available_cases, load_case
+from repro.grid.matrices import SPARSE_BUS_THRESHOLD
+from repro.telemetry.env import environment_info
+
+#: Documented dense/sparse agreement tolerance (relative); see
+#: docs/architecture.md "Factorization backends".
+AGREEMENT_RTOL = 1e-9
+
+#: Every registered case plus one file-referenced MATPOWER case, per the
+#: acceptance criterion "agreement on every registered case".
+AGREEMENT_CASES = tuple(available_cases()) + ("case30.m",)
+
+
+def _both_models(case: str) -> tuple[MeasurementSystem, LinearModel, LinearModel]:
+    system = MeasurementSystem.for_network(load_case(case))
+    dense = LinearModel.from_measurement_system(system, backend="dense")
+    sparse = LinearModel.from_measurement_system(system, backend="sparse")
+    return system, dense, sparse
+
+
+# ----------------------------------------------------------------------
+# dense-vs-sparse agreement
+# ----------------------------------------------------------------------
+class TestAgreement:
+    @pytest.mark.parametrize("case", AGREEMENT_CASES)
+    def test_states_and_residual_norms_agree(self, case):
+        system, dense, sparse = _both_models(case)
+        rng = np.random.default_rng(11)
+        Z = rng.normal(0.0, system.noise_sigma, size=(8, system.n_measurements))
+
+        de = dense.estimate_batch(Z)
+        se = sparse.estimate_batch(Z)
+        theta_scale = max(float(np.abs(de.angles_rad).max()), 1e-12)
+        assert np.allclose(
+            se.angles_rad,
+            de.angles_rad,
+            rtol=AGREEMENT_RTOL,
+            atol=AGREEMENT_RTOL * theta_scale,
+        )
+        assert np.allclose(
+            se.residual_norms, de.residual_norms, rtol=AGREEMENT_RTOL, atol=0.0
+        )
+        # The solve-only entry point sees the same states.
+        assert np.allclose(
+            sparse.solve_states(Z),
+            dense.solve_states(Z),
+            rtol=AGREEMENT_RTOL,
+            atol=AGREEMENT_RTOL * theta_scale,
+        )
+
+    @pytest.mark.parametrize("case", ("ieee14", "synthetic118"))
+    def test_attack_noncentralities_and_gain_agree(self, case):
+        system, dense, sparse = _both_models(case)
+        rng = np.random.default_rng(5)
+        A = rng.normal(0.0, 0.01, size=(4, system.n_measurements))
+
+        lam_d = dense.attack_noncentralities(A)
+        lam_s = sparse.attack_noncentralities(A)
+        assert np.allclose(lam_s, lam_d, rtol=1e-8, atol=1e-8 * max(lam_d.max(), 1.0))
+
+        gd = dense.gain_cholesky()
+        gs = sparse.gain_cholesky()
+        assert np.allclose(gs, gd, rtol=1e-7, atol=1e-7 * float(np.abs(gd).max()))
+
+    def test_alarm_decisions_agree(self, net14, opf14):
+        system = MeasurementSystem.for_network(net14)
+        det_dense = BadDataDetector(system, backend="dense")
+        det_sparse = BadDataDetector(system, backend="sparse")
+        assert det_dense.threshold == det_sparse.threshold
+        Z = system.measure_batch(opf14.angles_rad, n_draws=32, rng=3)
+        assert np.array_equal(
+            det_dense.raises_alarms(Z), det_sparse.raises_alarms(Z)
+        )
+        a = np.zeros(system.n_measurements)
+        a[0] = 0.05
+        assert det_sparse.detection_probability(a) == pytest.approx(
+            det_dense.detection_probability(a), rel=1e-9
+        )
+
+    def test_rank_deficient_raises_identically(self):
+        H = np.zeros((8, 3))
+        H[:, :2] = np.random.default_rng(0).normal(size=(8, 2))
+        w = np.ones(8)
+        with pytest.raises(EstimationError, match="unobservable"):
+            LinearModel(H, w, backend="dense")
+        with pytest.raises(EstimationError, match="unobservable"):
+            LinearModel(H, w, backend="sparse")
+
+
+# ----------------------------------------------------------------------
+# golden dense path
+# ----------------------------------------------------------------------
+class TestDenseGolden:
+    def test_dense_matches_reference_arithmetic(self, measurement14):
+        model = LinearModel.from_measurement_system(measurement14, backend="dense")
+        H = measurement14.matrix()
+        sqrt_w = np.sqrt(measurement14.weights())
+        q_ref, r_ref = np.linalg.qr(sqrt_w[:, None] * H)
+        assert np.array_equal(model.q, q_ref)
+        assert np.array_equal(model.r, r_ref)
+
+        rng = np.random.default_rng(2)
+        Z = rng.normal(0.0, 0.01, size=(6, measurement14.n_measurements))
+        weighted = Z * sqrt_w
+        coeffs = weighted @ q_ref
+        theta_ref = scipy.linalg.solve_triangular(r_ref, coeffs.T).T
+        norms_ref = np.linalg.norm(weighted - coeffs @ q_ref.T, axis=1)
+        est = model.estimate_batch(Z)
+        assert np.array_equal(est.angles_rad, theta_ref)
+        assert np.array_equal(est.residual_norms, norms_ref)
+
+        signs = np.where(np.diag(r_ref) < 0.0, -1.0, 1.0)
+        assert np.array_equal(model.gain_cholesky(), signs[:, None] * r_ref)
+
+    def test_dense_backend_accepts_sparse_input(self, measurement14):
+        dense_from_sparse = LinearModel(
+            measurement14.matrix_sparse(), measurement14.weights(), backend="dense"
+        )
+        dense_from_array = LinearModel(
+            measurement14.matrix(), measurement14.weights(), backend="dense"
+        )
+        assert np.array_equal(dense_from_sparse.q, dense_from_array.q)
+        assert np.array_equal(dense_from_sparse.r, dense_from_array.r)
+
+
+# ----------------------------------------------------------------------
+# resolution and the sparse backend's surface
+# ----------------------------------------------------------------------
+class TestResolution:
+    def test_available_backends(self):
+        assert available_backends() == ("dense", "sparse")
+        assert set(available_backends()) < set(BACKEND_CHOICES)
+
+    def test_auto_crossover(self):
+        assert resolve_backend("auto", n_buses=SPARSE_BUS_THRESHOLD - 1) == "dense"
+        assert resolve_backend("auto", n_buses=SPARSE_BUS_THRESHOLD) == "sparse"
+        assert resolve_backend("dense", n_buses=10**6) == "dense"
+        assert resolve_backend("sparse", n_buses=2) == "sparse"
+
+    def test_unknown_backend_rejected(self, measurement14):
+        with pytest.raises(ConfigurationError, match="unknown factorization backend"):
+            resolve_backend("qr", n_buses=14)
+        with pytest.raises(ConfigurationError):
+            LinearModel.from_measurement_system(measurement14, backend="qr")
+        with pytest.raises(ConfigurationError):
+            build_backend(np.eye(3), np.ones(3), "auto")  # must be resolved first
+
+    def test_model_resolves_auto_by_size(self, measurement14):
+        small = LinearModel.from_measurement_system(measurement14)
+        assert small.backend == "dense"
+        big = MeasurementSystem.for_network(load_case("synthetic118"))
+        assert LinearModel.from_measurement_system(big).backend == "sparse"
+
+    def test_sparse_backend_is_qless(self, measurement14):
+        model = LinearModel.from_measurement_system(measurement14, backend="sparse")
+        assert model.backend == "sparse"
+        with pytest.raises(EstimationError, match="Q-less"):
+            model.q
+        with pytest.raises(EstimationError, match="Q-less"):
+            model.r
+        # The diagnostic densification still round-trips the Jacobian.
+        assert np.array_equal(model.matrix, measurement14.matrix())
+
+    def test_backend_classes_exported(self):
+        fact = build_backend(np.eye(4) + 1.0, np.ones(4), "dense")
+        assert isinstance(fact, DenseQRBackend)
+        fact = build_backend(scipy.sparse.eye(4, format="csr"), np.ones(4), "sparse")
+        assert isinstance(fact, SparseQlessBackend)
+
+
+# ----------------------------------------------------------------------
+# cache keys and engine plumbing
+# ----------------------------------------------------------------------
+def _spec(**overrides) -> ScenarioSpec:
+    defaults = dict(
+        name="backend-knob",
+        grid=GridSpec(case="ieee14", baseline="dc-opf"),
+        attack=AttackSpec(n_attacks=4, seed=1),
+        mtd=MTDSpec(policy="none"),
+        n_trials=2,
+        base_seed=3,
+        deltas=(0.9,),
+        metric="eta(0.9)",
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestCacheKeys:
+    def test_injected_model_backend_mismatch_raises(self, measurement14):
+        dense = LinearModel.from_measurement_system(measurement14, backend="dense")
+        with pytest.raises(EstimationError, match="cache key must include the backend"):
+            WLSStateEstimator(measurement14, model=dense, backend="sparse")
+        # Matching (or unresolved "auto") injections stay accepted.
+        WLSStateEstimator(measurement14, model=dense, backend="dense")
+        WLSStateEstimator(measurement14, model=dense)
+
+    def test_model_cache_keys_distinct_per_backend(self):
+        cache = LinearModelCache(maxsize=8)
+        run_trial_batch(_spec(backend="dense"), model_cache=cache)
+        misses_dense = cache.misses
+        assert misses_dense > 0
+        # Same grid, same perturbations — a sparse run must not reuse the
+        # dense factorisations (regression: keys lacked the backend).
+        run_trial_batch(_spec(backend="sparse"), model_cache=cache)
+        assert cache.misses == 2 * misses_dense
+        assert len(cache) == 2 * misses_dense
+
+    def test_auto_is_dense_below_threshold_bit_identical(self):
+        auto = [run_trial(_spec(), i) for i in range(2)]
+        dense = [run_trial(_spec(backend="dense"), i) for i in range(2)]
+        assert [t.metrics for t in auto] == [t.metrics for t in dense]
+
+    def test_sparse_backend_runs_and_agrees_to_tolerance(self):
+        dense = run_trial(_spec(backend="dense"), 0)
+        sparse = run_trial(_spec(backend="sparse"), 0)
+        assert set(dense.metrics) == set(sparse.metrics)
+        for key, value in dense.metrics.items():
+            assert sparse.metrics[key] == pytest.approx(value, rel=1e-6, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# the spec knob
+# ----------------------------------------------------------------------
+class TestSpecKnob:
+    def test_backend_field_round_trips(self):
+        spec = _spec(backend="sparse")
+        assert spec.backend == "sparse"
+        assert ScenarioSpec.from_dict(spec.to_dict()).backend == "sparse"
+        assert ScenarioSpec.from_json(spec.to_json()).backend == "sparse"
+        assert _spec().backend == "auto"
+
+    def test_backend_excluded_from_content_hash(self):
+        spec = _spec()
+        assert spec.content_hash() == spec.with_updates(backend="sparse").content_hash()
+        assert spec.content_hash() == spec.with_updates(backend="dense").content_hash()
+
+    def test_backend_validation(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            _spec(backend="qr")
+
+
+# ----------------------------------------------------------------------
+# observability
+# ----------------------------------------------------------------------
+class TestObservability:
+    def test_factorization_counters(self, measurement14):
+        telemetry.reset()
+        with telemetry.enabled_scope():
+            LinearModel.from_measurement_system(measurement14, backend="dense")
+            LinearModel.from_measurement_system(measurement14, backend="sparse")
+        snap = telemetry.snapshot()
+        telemetry.reset()
+        assert snap.counters["estimation.factorizations"] == 2
+        assert snap.counters["estimation.backend.dense"] == 1
+        assert snap.counters["estimation.backend.sparse"] == 1
+        assert snap.histograms["estimation.factorize_seconds"]["count"] == 2
+
+    def test_counters_silent_when_disabled(self, measurement14):
+        telemetry.reset()
+        LinearModel.from_measurement_system(measurement14, backend="dense")
+        assert telemetry.snapshot().counters == {}
+
+    def test_environment_stamp(self):
+        assert environment_info()["factorization_backends"] == "dense,sparse"
+
+
+# ----------------------------------------------------------------------
+# scale registry
+# ----------------------------------------------------------------------
+class TestScaleCases:
+    def test_synthetic1354_registered(self):
+        assert "synthetic1354" in available_cases()
+        network = load_case("synthetic1354")
+        assert network.n_buses == 1354
+        # Parameters stay overridable through the registry.
+        assert load_case("synthetic1354", seed=7).n_buses == 1354
+
+    def test_scale_suite_includes_production_size(self):
+        cases = {spec.grid.case for spec in scenario_suite("scale")}
+        assert "synthetic1354" in cases
